@@ -1,0 +1,228 @@
+package bcpqp
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"bcpqp/internal/experiments"
+	"bcpqp/internal/harness"
+	"bcpqp/internal/packet"
+	"bcpqp/internal/sched"
+	"bcpqp/internal/timerwheel"
+	"bcpqp/internal/units"
+)
+
+// BenchmarkEnforcers measures the per-packet datapath cost of every
+// rate-enforcement scheme — the paper's Fig 5 (and the cost half of
+// Fig 1a). The rig replays a synthetic 16-flow stream at ≈1.3× the
+// enforced rate on a virtual clock; the shaper variant runs its dequeue
+// scheduling through a hashed timing wheel and copies payloads on dequeue.
+//
+// Expected shape (paper): policer ≈ cheapest; BC-PQP within a small factor
+// of the policer; FairPolicer several times more; shaper the most
+// expensive by 5-10×.
+func BenchmarkEnforcers(b *testing.B) {
+	for _, scheme := range harness.AllSchemes() {
+		scheme := scheme
+		b.Run(scheme.String(), func(b *testing.B) {
+			rig := experiments.NewEfficiencyRig(scheme)
+			// Warm up into steady state.
+			for i := 0; i < 100_000; i++ {
+				rig.Submit(i)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rig.Submit(i)
+			}
+		})
+	}
+}
+
+// BenchmarkPhantomPolicies is the ablation for DESIGN.md's policy-engine
+// choice: per-packet cost of BC-PQP under increasingly rich rate-sharing
+// policies (flat fair fast path vs generic hierarchical GPS).
+func BenchmarkPhantomPolicies(b *testing.B) {
+	const queues = 16
+	policies := map[string]*Policy{
+		"fair":     Fair(queues),
+		"weighted": WeightedFair(1, 2, 3, 4, 5, 6, 7, 8, 1, 2, 3, 4, 5, 6, 7, 8),
+		"priority": StrictPriority(queues),
+		"nested": MustNewPolicy(Priority(
+			Weighted(Leaf(0).WithWeight(2), Leaf(1), Leaf(2), Leaf(3)),
+			Weighted(Leaf(4), Leaf(5), Leaf(6), Leaf(7)),
+			Weighted(Leaf(8), Leaf(9), Leaf(10), Leaf(11),
+				Leaf(12), Leaf(13), Leaf(14), Leaf(15)),
+		)),
+	}
+	for _, name := range []string{"fair", "weighted", "priority", "nested"} {
+		policy := policies[name]
+		b.Run(name, func(b *testing.B) {
+			enf, err := NewBCPQP(BCPQPConfig{
+				Rate:   50 * Mbps,
+				Queues: queues,
+				Policy: policy,
+				MaxRTT: 50 * time.Millisecond,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			gap := (50 * Mbps).DurationForBytes(MSS) * 3 / 4 // 1.33× offered
+			now := time.Duration(0)
+			pkt := Packet{Key: FlowKey{SrcIP: 1, DstIP: 2, Proto: 6}, Size: MSS}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				now += gap
+				pkt.Class = i & (queues - 1)
+				enf.Submit(now, pkt)
+			}
+		})
+	}
+}
+
+// BenchmarkPolicyDrain measures the shared GPS drain engine in isolation.
+func BenchmarkPolicyDrain(b *testing.B) {
+	policy := sched.MustNew(sched.Priority(
+		sched.Weighted(sched.Leaf(0).WithWeight(3), sched.Leaf(1)),
+		sched.Weighted(sched.Leaf(2), sched.Leaf(3), sched.Leaf(4), sched.Leaf(5)),
+	))
+	lens := make([]int64, 6)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range lens {
+			lens[j] = int64(10000 + j*1000)
+		}
+		policy.Drain(20000,
+			func(c int) int64 { return lens[c] },
+			func(c int, n int64) { lens[c] -= n })
+	}
+}
+
+// BenchmarkTimerWheel measures the shaper's dequeue-scheduling substrate.
+func BenchmarkTimerWheel(b *testing.B) {
+	w := timerwheel.MustNew(100*time.Microsecond, 1024)
+	now := time.Duration(0)
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now += 50 * time.Microsecond
+		w.Schedule(now+5*time.Millisecond, fn)
+		w.Advance(now)
+	}
+}
+
+// BenchmarkSimulation measures end-to-end simulator throughput: virtual
+// packet deliveries per second for one 4-flow aggregate through BC-PQP.
+// This bounds how fast the Fig 4 sweep can run.
+func BenchmarkSimulation(b *testing.B) {
+	b.ReportAllocs()
+	var delivered int64
+	for i := 0; i < b.N; i++ {
+		h, err := harness.New(harness.Config{
+			Scheme: harness.SchemeBCPQP,
+			Rate:   25 * units.Mbps,
+			MaxRTT: 40 * time.Millisecond,
+			Queues: 4,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for f := 0; f < 4; f++ {
+			if _, err := h.AttachFlow(harness.FlowSpec{
+				Key:   packet.FlowKey{SrcIP: 1, SrcPort: uint16(f + 1), DstIP: 2, DstPort: 443, Proto: 6},
+				Class: f,
+				CC:    []string{"reno", "cubic", "bbr", "vegas"}[f],
+				RTT:   20 * time.Millisecond,
+				Start: 10 * time.Millisecond,
+				OnDeliver: func(now time.Duration, bytes int) {
+					delivered += int64(bytes)
+				},
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		h.Run(2 * time.Second)
+	}
+	if delivered == 0 {
+		b.Fatal("nothing delivered")
+	}
+}
+
+// BenchmarkMiddlebox measures the sharded engine's cross-aggregate submit
+// throughput with BC-PQP enforcers — the "thousands of subscribers on one
+// box" number.
+func BenchmarkMiddlebox(b *testing.B) {
+	for _, aggs := range []int{16, 256} {
+		aggs := aggs
+		b.Run(fmt.Sprintf("aggregates=%d", aggs), func(b *testing.B) {
+			var ticks atomic.Int64
+			eng := NewMiddlebox(MiddleboxConfig{
+				QueueDepth: 1 << 14,
+				Clock: func() time.Duration {
+					return time.Duration(ticks.Add(1)) * 10 * time.Microsecond
+				},
+			})
+			defer eng.Close()
+			ids := make([]string, aggs)
+			for i := range ids {
+				ids[i] = fmt.Sprintf("agg-%d", i)
+				enf, err := NewBCPQP(BCPQPConfig{Rate: 20 * Mbps, Queues: 16})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := eng.Add(ids[i], enf, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+			pkt := Packet{Key: FlowKey{SrcIP: 1, Proto: 6}, Size: MSS}
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					pkt.Class = i & 15
+					eng.Submit(ids[i%aggs], pkt)
+					i++
+				}
+			})
+		})
+	}
+}
+
+// Per-figure regeneration benches: each iteration regenerates the figure at
+// quick scale, so `go test -bench Fig` reproduces every result under the
+// standard Go benchmark harness.
+func BenchmarkFig1a(b *testing.B) { benchFig(b, experiments.Fig1a) }
+func BenchmarkFig1b(b *testing.B) { benchFig(b, experiments.Fig1b) }
+func BenchmarkFig2(b *testing.B)  { benchFig(b, experiments.Fig2) }
+func BenchmarkFig3(b *testing.B)  { benchFig(b, experiments.Fig3) }
+func BenchmarkFig4(b *testing.B)  { benchFig(b, experiments.Fig4) }
+func BenchmarkFig5(b *testing.B)  { benchFig(b, experiments.Fig5) }
+func BenchmarkFig6a(b *testing.B) { benchFig(b, experiments.Fig6a) }
+func BenchmarkFig6bc(b *testing.B) {
+	benchFig(b, experiments.Fig6bc)
+}
+func BenchmarkFig6d(b *testing.B) { benchFig(b, experiments.Fig6d) }
+func BenchmarkFig7a(b *testing.B) { benchFig(b, experiments.Fig7a) }
+func BenchmarkFig7b(b *testing.B) { benchFig(b, experiments.Fig7b) }
+func BenchmarkFig8(b *testing.B)  { benchFig(b, experiments.Fig8) }
+func BenchmarkFig9(b *testing.B)  { benchFig(b, experiments.Fig9) }
+
+func benchFig(b *testing.B, fn experiments.Runner) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if _, err := fn(experiments.Quick, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Extension-experiment benches (ext-mem is excluded: it measures heap
+// directly and would fight the benchmark harness's own accounting).
+func BenchmarkExtAQM(b *testing.B) { benchFig(b, experiments.ExtAQM) }
+func BenchmarkExtECN(b *testing.B) { benchFig(b, experiments.ExtECN) }

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"bcpqp"
+)
+
+func TestBuildEnforcer(t *testing.T) {
+	for _, name := range []string{"policer", "policer+", "fairpolicer", "pqp", "bc-pqp"} {
+		enf, err := buildEnforcer(name, 5*bcpqp.Mbps, 8)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if enf == nil {
+			t.Errorf("%s: nil enforcer", name)
+		}
+	}
+	if _, err := buildEnforcer("shaper", 5*bcpqp.Mbps, 8); err == nil {
+		t.Error("buffering scheme accepted for a bufferless relay")
+	}
+	if _, err := buildEnforcer("nope", 5*bcpqp.Mbps, 8); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+}
+
+func TestKeyFor(t *testing.T) {
+	k := keyFor(mockUDPAddr())
+	if k.SrcIP == 0 || k.SrcPort == 0 || k.Proto != 17 {
+		t.Errorf("keyFor = %+v", k)
+	}
+}
+
+// TestSelfTestLoopback runs the full live datapath (sink, proxy, two
+// senders) over loopback for a short real-time window.
+func TestSelfTestLoopback(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-time loopback test")
+	}
+	if err := runSelfTest(5, "bc-pqp", 8, 1500*time.Millisecond); err != nil {
+		t.Fatalf("selftest: %v", err)
+	}
+}
+
+// mockUDPAddr builds a loopback UDP address for key derivation tests.
+func mockUDPAddr() *net.UDPAddr {
+	return &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1), Port: 4242}
+}

@@ -1,0 +1,102 @@
+// Command experiments regenerates the tables and figures of the BC-PQP
+// paper's evaluation from the simulator and datapath benchmarks in this
+// repository.
+//
+// Usage:
+//
+//	experiments -fig 4a           # one figure (quick scale)
+//	experiments -all              # every figure
+//	experiments -fig 4 -scale full -seed 7
+//
+// Quick scale preserves every qualitative shape at a fraction of the
+// paper's workload so the full suite finishes in minutes; -scale full
+// approaches the paper's parameters (100 aggregates, longer runs).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"bcpqp/internal/experiments"
+)
+
+func main() {
+	var (
+		fig    = flag.String("fig", "", "figure to regenerate (e.g. 2, 4a, 6bc); empty with -all runs everything")
+		all    = flag.Bool("all", false, "run every figure")
+		scale  = flag.String("scale", "quick", "experiment scale: quick | full")
+		seed   = flag.Uint64("seed", 1, "workload seed (runs are deterministic per seed)")
+		list   = flag.Bool("list", false, "list known figure IDs")
+		csvDir = flag.String("csv", "", "also write each table/series as CSV into this directory")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("known figures:", strings.Join(experiments.IDs(), " "))
+		return
+	}
+
+	sc, err := experiments.ParseScale(*scale)
+	if err != nil {
+		fatal(err)
+	}
+
+	switch {
+	case *all:
+		start := time.Now()
+		reports, err := experiments.All(sc, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		for _, r := range reports {
+			fmt.Println(r)
+			if err := writeCSV(*csvDir, r); err != nil {
+				fatal(err)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "all experiments done in %v\n", time.Since(start).Round(time.Millisecond))
+	case *fig != "":
+		runner, err := experiments.Lookup(*fig)
+		if err != nil {
+			fatal(err)
+		}
+		start := time.Now()
+		report, err := runner(sc, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(report)
+		if err := writeCSV(*csvDir, report); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "done in %v\n", time.Since(start).Round(time.Millisecond))
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+// writeCSV dumps a report's tables and series into dir (no-op when empty).
+func writeCSV(dir string, r *experiments.Report) error {
+	if dir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for name, content := range r.CSV() {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

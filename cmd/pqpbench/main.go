@@ -1,0 +1,44 @@
+// Command pqpbench measures the per-packet datapath cost of each
+// rate-enforcement scheme outside the Go benchmark harness — the
+// standalone companion to Fig 5 and `go test -bench BenchmarkEnforcers`.
+//
+// Usage:
+//
+//	pqpbench                     # all schemes, 2M packets each
+//	pqpbench -scheme bc-pqp -packets 10000000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"bcpqp/internal/experiments"
+	"bcpqp/internal/harness"
+)
+
+func main() {
+	var (
+		schemeName = flag.String("scheme", "", "single scheme to measure (default: all)")
+		packets    = flag.Int("packets", 2_000_000, "packets per measurement")
+	)
+	flag.Parse()
+
+	schemes := harness.AllSchemes()
+	if *schemeName != "" {
+		s, err := harness.ParseScheme(*schemeName)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		schemes = []harness.Scheme{s}
+	}
+
+	fmt.Printf("%-12s %12s %14s %10s %14s\n",
+		"scheme", "ns/packet", "allocs/packet", "drop rate", "packets/sec")
+	for _, s := range schemes {
+		e := experiments.MeasureEfficiency(s, *packets)
+		fmt.Printf("%-12s %12.1f %14.2f %10.3f %14.0f\n",
+			e.Scheme, e.NsPerPacket, e.AllocsPerPacket, e.DropRate, 1e9/e.NsPerPacket)
+	}
+}

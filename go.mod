@@ -1,0 +1,3 @@
+module bcpqp
+
+go 1.22

@@ -1,0 +1,137 @@
+package web
+
+import (
+	"testing"
+	"time"
+
+	"bcpqp/internal/harness"
+	"bcpqp/internal/packet"
+	"bcpqp/internal/rng"
+	"bcpqp/internal/units"
+)
+
+func newHarness(t *testing.T, rate units.Rate) *harness.Harness {
+	t.Helper()
+	h, err := harness.New(harness.Config{
+		Scheme: harness.SchemeBCPQP,
+		Rate:   rate,
+		MaxRTT: 50 * time.Millisecond,
+		Queues: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestPagesComplete(t *testing.T) {
+	h := newHarness(t, 10*units.Mbps)
+	s, err := Start(Config{
+		Harness: h,
+		BaseKey: packet.FlowKey{SrcIP: 1, DstIP: 2, DstPort: 443, Proto: 6},
+		Class:   0,
+		RTT:     20 * time.Millisecond,
+		Pages:   10,
+		Start:   10 * time.Millisecond,
+		Rand:    rng.New(1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Run(2 * time.Minute)
+	if !s.Done {
+		t.Fatalf("only %d/10 pages completed", len(s.PLTs))
+	}
+	if len(s.PLTs) != 10 {
+		t.Fatalf("recorded %d PLTs", len(s.PLTs))
+	}
+	for i, plt := range s.PLTs {
+		if plt <= 0 {
+			t.Errorf("page %d PLT %v", i, plt)
+		}
+		if plt > 20*time.Second {
+			t.Errorf("page %d took %v at 10 Mbps; fan-out broken", i, plt)
+		}
+	}
+}
+
+func TestPLTWorsensUnderTighterRate(t *testing.T) {
+	run := func(rate units.Rate) time.Duration {
+		h := newHarness(t, rate)
+		s, err := Start(Config{
+			Harness: h,
+			BaseKey: packet.FlowKey{SrcIP: 1, DstIP: 2, DstPort: 443, Proto: 6},
+			Class:   0,
+			RTT:     20 * time.Millisecond,
+			Pages:   8,
+			Start:   10 * time.Millisecond,
+			Rand:    rng.New(7), // same pages both runs
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.Run(5 * time.Minute)
+		if !s.Done {
+			t.Fatalf("pages incomplete at %v", rate)
+		}
+		var sum time.Duration
+		for _, p := range s.PLTs {
+			sum += p
+		}
+		return sum / time.Duration(len(s.PLTs))
+	}
+	fast := run(20 * units.Mbps)
+	slow := run(units.Rate(1.5 * units.Mbps))
+	if slow <= fast {
+		t.Errorf("mean PLT at 1.5 Mbps (%v) not worse than at 20 Mbps (%v)", slow, fast)
+	}
+}
+
+func TestDeterministicPages(t *testing.T) {
+	run := func() []time.Duration {
+		h := newHarness(t, 5*units.Mbps)
+		s, _ := Start(Config{
+			Harness: h,
+			BaseKey: packet.FlowKey{SrcIP: 1, DstIP: 2, DstPort: 443, Proto: 6},
+			Class:   0,
+			RTT:     20 * time.Millisecond,
+			Pages:   5,
+			Start:   10 * time.Millisecond,
+			Rand:    rng.New(3),
+		})
+		h.Run(time.Minute)
+		return s.PLTs
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic page count")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("PLT %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestObjectSizeBounds(t *testing.T) {
+	r := rng.New(11)
+	for i := 0; i < 10000; i++ {
+		s := objectSize(r)
+		if s < 2_000 || s > 1_000_000 {
+			t.Fatalf("object size %d out of bounds", s)
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	h := newHarness(t, units.Mbps)
+	if _, err := Start(Config{Harness: h, Pages: 1}); err == nil {
+		t.Error("nil rand accepted")
+	}
+	if _, err := Start(Config{Harness: h, Rand: rng.New(1)}); err == nil {
+		t.Error("zero pages accepted")
+	}
+	if _, err := Start(Config{Rand: rng.New(1), Pages: 1}); err == nil {
+		t.Error("nil harness accepted")
+	}
+}

@@ -1,0 +1,95 @@
+// Package cascade composes rate limits hierarchically: a packet must be
+// admitted by every level (e.g. its subscriber limit, the subscriber's
+// plan-tier limit, and the link limit) to be transmitted.
+//
+// Naively chaining bufferless enforcers corrupts their accounting: if the
+// subscriber level admits a packet — enqueueing its phantom copy or
+// consuming its tokens — and the link level then drops it, the subscriber
+// has charged itself for a packet that never left. Cascade therefore uses
+// two-phase admission: every stage is Probed first (drains and refills
+// advance, but no admission state changes), and only when all stages accept
+// is the packet Committed to each. This preserves each level's Theorem 1
+// accounting exactly.
+package cascade
+
+import (
+	"fmt"
+	"time"
+
+	"bcpqp/internal/enforcer"
+	"bcpqp/internal/packet"
+)
+
+// Stage is an enforcer supporting two-phase admission. *phantom.PQP and
+// *tbf.Policer implement it.
+type Stage interface {
+	// Probe reports whether the packet would be admitted at now,
+	// without changing admission state.
+	Probe(now time.Duration, pkt packet.Packet) bool
+	// Commit admits a packet previously accepted by Probe at the same
+	// virtual time.
+	Commit(now time.Duration, pkt packet.Packet)
+}
+
+// Cascade enforces every stage in order; it implements enforcer.Enforcer.
+// Per-stage statistics count only committed packets; the cascade's own
+// statistics account the end-to-end verdicts.
+type Cascade struct {
+	stages []Stage
+	stats  enforcer.Stats
+
+	// DroppedAt counts drops attributed to each stage (the first stage
+	// whose Probe rejected the packet).
+	DroppedAt []int64
+}
+
+// New builds a cascade over the given stages, outermost (e.g. subscriber)
+// first. At least one stage is required.
+func New(stages ...Stage) (*Cascade, error) {
+	if len(stages) == 0 {
+		return nil, fmt.Errorf("cascade: no stages")
+	}
+	for i, s := range stages {
+		if s == nil {
+			return nil, fmt.Errorf("cascade: nil stage %d", i)
+		}
+	}
+	return &Cascade{
+		stages:    stages,
+		DroppedAt: make([]int64, len(stages)),
+	}, nil
+}
+
+// MustNew is New that panics on error.
+func MustNew(stages ...Stage) *Cascade {
+	c, err := New(stages...)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Submit implements enforcer.Enforcer with all-or-nothing admission.
+func (c *Cascade) Submit(now time.Duration, pkt packet.Packet) enforcer.Verdict {
+	for i, s := range c.stages {
+		if !s.Probe(now, pkt) {
+			c.DroppedAt[i]++
+			c.stats.Reject(pkt.Size)
+			return enforcer.Drop
+		}
+	}
+	for _, s := range c.stages {
+		s.Commit(now, pkt)
+	}
+	c.stats.Accept(pkt.Size)
+	return enforcer.Transmit
+}
+
+// EnforcerStats implements enforcer.StatsReader.
+func (c *Cascade) EnforcerStats() enforcer.Stats { return c.stats }
+
+// Stages returns the number of levels.
+func (c *Cascade) Stages() int { return len(c.stages) }
+
+var _ enforcer.Enforcer = (*Cascade)(nil)
+var _ enforcer.StatsReader = (*Cascade)(nil)

@@ -1,0 +1,202 @@
+package cascade
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"bcpqp/internal/enforcer"
+	"bcpqp/internal/packet"
+	"bcpqp/internal/phantom"
+	"bcpqp/internal/tbf"
+	"bcpqp/internal/units"
+)
+
+func pkt(src uint32, class int) packet.Packet {
+	return packet.Packet{
+		Key:   packet.FlowKey{SrcIP: src, SrcPort: uint16(class + 1), Proto: 6},
+		Size:  units.MSS,
+		Class: class,
+	}
+}
+
+func newPQP(rate units.Rate, queues int) *phantom.PQP {
+	return phantom.MustNew(phantom.Config{
+		Rate:         rate,
+		Queues:       queues,
+		QueueSize:    200 * units.MSS,
+		BurstControl: true,
+	})
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := New(); err == nil {
+		t.Error("empty cascade accepted")
+	}
+	if _, err := New(nil); err == nil {
+		t.Error("nil stage accepted")
+	}
+	if _, err := New(newPQP(units.Mbps, 1)); err != nil {
+		t.Errorf("valid cascade rejected: %v", err)
+	}
+}
+
+// TestSingleStageMatchesPlainSubmit: a one-stage cascade admits exactly the
+// packets the enforcer's own Submit would admit.
+func TestSingleStageMatchesPlainSubmit(t *testing.T) {
+	plain := newPQP(8*units.Mbps, 2)
+	casc := MustNew(newPQP(8*units.Mbps, 2))
+
+	now := time.Duration(0)
+	var plainAcc, cascAcc int
+	for i := 0; i < 5000; i++ {
+		now += 600 * time.Microsecond // 2.5 MB/s offered vs 1 MB/s
+		p := pkt(1, i%2)
+		if plain.Submit(now, p) == enforcer.Transmit {
+			plainAcc++
+		}
+		if casc.Submit(now, p) == enforcer.Transmit {
+			cascAcc++
+		}
+	}
+	if plainAcc != cascAcc {
+		t.Errorf("cascade admitted %d, plain submit %d", cascAcc, plainAcc)
+	}
+}
+
+// TestLinkLevelCapsSubscribers: two 5 Mbps subscribers under an 8 Mbps
+// link level — each subscriber is capped at 5, and their sum at 8.
+func TestLinkLevelCapsSubscribers(t *testing.T) {
+	link := newPQP(8*units.Mbps, 2) // one queue per subscriber at the link
+	subA := newPQP(5*units.Mbps, 1)
+	subB := newPQP(5*units.Mbps, 1)
+	cascA := MustNew(subA, link)
+	cascB := MustNew(subB, link)
+
+	// Both subscribers offer 10 Mbps for 10 virtual seconds.
+	gap := (10 * units.Mbps).DurationForBytes(units.MSS)
+	now := time.Duration(0)
+	var accA, accB int64
+	for now < 10*time.Second {
+		now += gap
+		pa := pkt(1, 0)
+		pb := pkt(2, 0)
+		pb.Class = 0
+		// Subscriber queues are their own (class 0); at the link they
+		// occupy separate classes via explicit override below.
+		pa.Class = 0
+		if cascA.Submit(now, withLinkClass(pa, 0)) == enforcer.Transmit {
+			accA += units.MSS
+		}
+		if cascB.Submit(now, withLinkClass(pb, 1)) == enforcer.Transmit {
+			accB += units.MSS
+		}
+	}
+	mbpsA := float64(accA) * 8 / 10 / 1e6
+	mbpsB := float64(accB) * 8 / 10 / 1e6
+	if mbpsA > 5.3 || mbpsB > 5.3 {
+		t.Errorf("subscriber exceeded its cap: A=%.2f B=%.2f Mbps", mbpsA, mbpsB)
+	}
+	if total := mbpsA + mbpsB; total > 8.4 {
+		t.Errorf("link cap violated: %.2f Mbps total", total)
+	}
+	if mbpsA < 3.4 || mbpsB < 3.4 {
+		t.Errorf("link level starved a subscriber: A=%.2f B=%.2f", mbpsA, mbpsB)
+	}
+}
+
+// withLinkClass is a helper: the same packet classifies into its
+// subscriber's queue 0 but into a per-subscriber class at the shared link
+// stage. Class overrides apply to whichever stage reads them, so the link
+// stage here uses the hash path via distinct SrcIPs instead.
+func withLinkClass(p packet.Packet, link int) packet.Packet {
+	// The link PQP has 2 queues; we rely on Class for both stages, so
+	// give the link its class and keep subscriber stages single-queue
+	// (class 0 maps anywhere).
+	p.Class = link
+	return p
+}
+
+// TestNoPhantomLeakOnOuterDrop: when the link level rejects, the subscriber
+// level must not have enqueued a phantom copy (the accounting bug cascades
+// exist to prevent).
+func TestNoPhantomLeakOnOuterDrop(t *testing.T) {
+	sub := newPQP(10*units.Mbps, 1)
+	link := tbf.MustNew(units.Mbps, units.MSS) // tiny: rejects almost everything
+	casc := MustNew(sub, link)
+
+	now := time.Millisecond
+	var accepted int64
+	for i := 0; i < 100; i++ {
+		if casc.Submit(now, pkt(1, 0)) == enforcer.Transmit {
+			accepted += units.MSS
+		}
+	}
+	// The subscriber's phantom queue must hold exactly the accepted
+	// bytes — not the offered bytes.
+	if got := sub.QueueLength(0); got != accepted {
+		t.Errorf("subscriber phantom queue holds %d, want exactly accepted %d", got, accepted)
+	}
+	if casc.DroppedAt[1] == 0 {
+		t.Error("link-stage drops not attributed")
+	}
+	st := sub.EnforcerStats()
+	if st.AcceptedBytes != accepted {
+		t.Errorf("subscriber stats charged %d, want %d", st.AcceptedBytes, accepted)
+	}
+}
+
+// TestTBFProbeCommitEquivalence: probe+commit over a token bucket admits
+// the same packets as plain Submit.
+func TestTBFProbeCommitEquivalence(t *testing.T) {
+	plain := tbf.MustNew(8*units.Mbps, 10*units.MSS)
+	staged := tbf.MustNew(8*units.Mbps, 10*units.MSS)
+	now := time.Duration(0)
+	for i := 0; i < 3000; i++ {
+		now += 900 * time.Microsecond
+		p := pkt(1, 0)
+		a := plain.Submit(now, p) == enforcer.Transmit
+		b := staged.Probe(now, p)
+		if b {
+			staged.Commit(now, p)
+		}
+		if a != b {
+			t.Fatalf("packet %d: plain=%v staged=%v", i, a, b)
+		}
+	}
+}
+
+func TestStages(t *testing.T) {
+	c := MustNew(newPQP(units.Mbps, 1), tbf.MustNew(units.Mbps, 10*units.MSS))
+	if c.Stages() != 2 {
+		t.Errorf("Stages = %d", c.Stages())
+	}
+}
+
+// TestCascadeUpperBoundsProperty: for random offered loads, the cascade
+// never admits more than either level's token-bucket bound allows.
+func TestCascadeUpperBoundsProperty(t *testing.T) {
+	f := func(gaps []uint16) bool {
+		subRate := 4 * units.Mbps
+		linkRate := 6 * units.Mbps
+		subB := int64(20 * units.MSS)
+		linkB := int64(30 * units.MSS)
+		sub := tbf.MustNew(subRate, subB)
+		link := tbf.MustNew(linkRate, linkB)
+		casc := MustNew(sub, link)
+		now := time.Duration(0)
+		var accepted int64
+		for _, g := range gaps {
+			now += time.Duration(g%3000) * time.Microsecond
+			if casc.Submit(now, pkt(1, 0)) == enforcer.Transmit {
+				accepted += units.MSS
+			}
+		}
+		okSub := float64(accepted) <= float64(subB)+subRate.Bytes(now)+1
+		okLink := float64(accepted) <= float64(linkB)+linkRate.Bytes(now)+1
+		return okSub && okLink
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

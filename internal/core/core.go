@@ -1,0 +1,34 @@
+// Package core is the canonical entry point to the paper's primary
+// contribution — the burst-controlled phantom-queue policer — for readers
+// navigating the repository layout.
+//
+// The implementation lives in bcpqp/internal/phantom (see that package for
+// the full documentation of PQP and BC-PQP); this package re-exports its
+// public surface under the conventional "core" name so the contribution is
+// discoverable at internal/core, alongside one-per-subsystem substrate
+// packages (sched, tbf, fairpolicer, shaper, tcp, cc, netem, ...).
+package core
+
+import (
+	"bcpqp/internal/phantom"
+)
+
+// Config configures a PQP or BC-PQP enforcer. See phantom.Config.
+type Config = phantom.Config
+
+// PQP is the phantom-queue policer (BC-PQP when burst control is enabled).
+// See phantom.PQP.
+type PQP = phantom.PQP
+
+// Burst-control defaults from §4 of the paper.
+const (
+	DefaultThetaHi = phantom.DefaultThetaHi
+	DefaultThetaLo = phantom.DefaultThetaLo
+	DefaultWindow  = phantom.DefaultWindow
+)
+
+// New validates cfg and returns a PQP (or BC-PQP when cfg.BurstControl).
+var New = phantom.New
+
+// MustNew is New that panics on error.
+var MustNew = phantom.MustNew

@@ -1,0 +1,46 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"bcpqp/internal/enforcer"
+	"bcpqp/internal/packet"
+	"bcpqp/internal/phantom"
+	"bcpqp/internal/units"
+)
+
+// TestAliasesTrackPhantom pins the re-exported surface to the phantom
+// package so the two cannot drift apart silently.
+func TestAliasesTrackPhantom(t *testing.T) {
+	if DefaultThetaHi != phantom.DefaultThetaHi ||
+		DefaultThetaLo != phantom.DefaultThetaLo ||
+		DefaultWindow != phantom.DefaultWindow {
+		t.Error("burst-control defaults drifted from internal/phantom")
+	}
+	var cfg Config = phantom.Config{
+		Rate:         10 * units.Mbps,
+		Queues:       2,
+		QueueSize:    100 * units.MSS,
+		BurstControl: true,
+	}
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var _ *phantom.PQP = p // PQP alias is the same type
+	if v := p.Submit(time.Millisecond, packet.Packet{
+		Key: packet.FlowKey{SrcPort: 1}, Size: units.MSS, Class: 0,
+	}); v != enforcer.Transmit {
+		t.Errorf("verdict %v", v)
+	}
+}
+
+func TestMustNewAlias(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew did not panic on invalid config")
+		}
+	}()
+	MustNew(Config{})
+}

@@ -1,0 +1,46 @@
+package enforcer
+
+import (
+	"testing"
+)
+
+func TestVerdictString(t *testing.T) {
+	cases := map[Verdict]string{
+		Transmit:   "transmit",
+		Drop:       "drop",
+		Queued:     "queued",
+		Verdict(9): "unknown",
+	}
+	for v, want := range cases {
+		if got := v.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(v), got, want)
+		}
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	var s Stats
+	s.Accept(1500)
+	s.Accept(500)
+	s.Reject(1500)
+	if s.AcceptedPackets != 2 || s.AcceptedBytes != 2000 {
+		t.Errorf("accepted = %d/%d", s.AcceptedPackets, s.AcceptedBytes)
+	}
+	if s.DroppedPackets != 1 || s.DroppedBytes != 1500 {
+		t.Errorf("dropped = %d/%d", s.DroppedPackets, s.DroppedBytes)
+	}
+	p, b := s.Totals()
+	if p != 3 || b != 3500 {
+		t.Errorf("totals = %d/%d", p, b)
+	}
+	if got := s.DropRate(); got != 1.0/3 {
+		t.Errorf("drop rate = %v", got)
+	}
+}
+
+func TestDropRateEmpty(t *testing.T) {
+	var s Stats
+	if s.DropRate() != 0 {
+		t.Error("empty stats drop rate should be 0")
+	}
+}

@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// CSV renders the report's tables and series as CSV documents, keyed by a
+// stable filename (e.g. "fig4_1_table.csv", "fig2_2_B=250KB.csv"), so the
+// figures can be plotted with external tooling. Series are exported at
+// full resolution, unlike the subsampled text rendering.
+func (r *Report) CSV() map[string]string {
+	out := make(map[string]string)
+	for si, sec := range r.Sections {
+		if sec.Table != nil {
+			name := fmt.Sprintf("%s_%d_table.csv", r.ID, si+1)
+			out[name] = tableCSV(sec.Table)
+		}
+		for _, ser := range sec.Series {
+			name := fmt.Sprintf("%s_%d_%s.csv", r.ID, si+1, sanitize(ser.Name))
+			out[name] = seriesCSV(ser)
+		}
+	}
+	return out
+}
+
+// tableCSV encodes one table.
+func tableCSV(t *Table) string {
+	var b strings.Builder
+	writeCSVRow(&b, t.Columns)
+	for _, row := range t.Rows {
+		writeCSVRow(&b, row)
+	}
+	return b.String()
+}
+
+// seriesCSV encodes one series with labeled columns.
+func seriesCSV(s Series) string {
+	var b strings.Builder
+	x, y := s.XLabel, s.YLabel
+	if x == "" {
+		x = "x"
+	}
+	if y == "" {
+		y = "y"
+	}
+	writeCSVRow(&b, []string{x, y})
+	for i := range s.X {
+		writeCSVRow(&b, []string{
+			fmt.Sprintf("%g", s.X[i]),
+			fmt.Sprintf("%g", s.Y[i]),
+		})
+	}
+	return b.String()
+}
+
+// writeCSVRow writes one RFC 4180 record.
+func writeCSVRow(b *strings.Builder, cells []string) {
+	for i, c := range cells {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		if strings.ContainsAny(c, ",\"\n") {
+			b.WriteByte('"')
+			b.WriteString(strings.ReplaceAll(c, `"`, `""`))
+			b.WriteByte('"')
+		} else {
+			b.WriteString(c)
+		}
+	}
+	b.WriteByte('\n')
+}
+
+// sanitize turns a series name into a filename fragment.
+func sanitize(name string) string {
+	var b strings.Builder
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			b.WriteRune(r)
+		case r == '-', r == '_', r == '.', r == '=':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "series"
+	}
+	return b.String()
+}

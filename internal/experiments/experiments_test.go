@@ -1,0 +1,400 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"bcpqp/internal/harness"
+	"bcpqp/internal/units"
+	"bcpqp/internal/workload"
+)
+
+func TestRunAggregateBasics(t *testing.T) {
+	agg := workload.Backlogged(5*units.Mbps, []string{"reno"},
+		[]time.Duration{20 * time.Millisecond}, 2, 10*time.Millisecond)
+	res, err := RunAggregate(agg, RunOpts{
+		Scheme:   harness.SchemeBCPQP,
+		Duration: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rate != 5*units.Mbps {
+		t.Errorf("rate = %v", res.Rate)
+	}
+	total := res.Flows[0].Delivered + res.Flows[1].Delivered
+	want := (5 * units.Mbps).Bytes(5 * time.Second)
+	if float64(total) < 0.7*want || float64(total) > 1.3*want {
+		t.Errorf("delivered %d bytes, want ≈%.0f", total, want)
+	}
+	samples := res.NormalizedAggSamples()
+	if len(samples) == 0 {
+		t.Fatal("no normalized samples")
+	}
+	if m := mean(secondHalf(samples)); m < 0.8 || m > 1.2 {
+		t.Errorf("steady normalized throughput %v", m)
+	}
+}
+
+func TestRunAggregateOnOff(t *testing.T) {
+	agg := workload.Aggregate{
+		Rate: 5 * units.Mbps,
+		Flows: []workload.FlowSpec{{
+			CC:    "cubic",
+			RTT:   20 * time.Millisecond,
+			Size:  200 * units.KB,
+			Start: 10 * time.Millisecond,
+			OnOff: &workload.OnOff{BurstBytes: 200 * units.KB, Idle: 500 * time.Millisecond},
+			Class: 0,
+		}},
+	}
+	res, err := RunAggregate(agg, RunOpts{
+		Scheme:   harness.SchemeBCPQP,
+		Duration: 10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Flows[0].Completions < 3 {
+		t.Errorf("on-off flow completed %d bursts, want several", res.Flows[0].Completions)
+	}
+}
+
+func TestRunAggregateValidation(t *testing.T) {
+	agg := workload.Backlogged(units.Mbps, []string{"reno"},
+		[]time.Duration{time.Millisecond}, 1, 0)
+	if _, err := RunAggregate(agg, RunOpts{Scheme: harness.SchemeBCPQP}); err == nil {
+		t.Error("zero duration accepted")
+	}
+	if _, err := RunAggregate(workload.Aggregate{Rate: units.Mbps},
+		RunOpts{Scheme: harness.SchemeBCPQP, Duration: time.Second}); err == nil {
+		t.Error("empty aggregate accepted")
+	}
+}
+
+func TestJainPerWindowCountsStarvedFlows(t *testing.T) {
+	// One backlogged flow gets everything, the other is synthetic-starved
+	// (never delivers); Jain must reflect the starvation, not ignore it.
+	agg := workload.Backlogged(2*units.Mbps, []string{"cubic", "vegas"},
+		[]time.Duration{10 * time.Millisecond}, 2, 10*time.Millisecond)
+	res, err := RunAggregate(agg, RunOpts{
+		Scheme:   harness.SchemeBCPQP,
+		Duration: 4 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jains := res.JainPerWindow()
+	if len(jains) == 0 {
+		t.Fatal("no Jain samples despite two backlogged flows")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{Columns: []string{"a", "bbbb"}}
+	tab.AddRow("x", "y")
+	out := tab.String()
+	if !strings.Contains(out, "a") || !strings.Contains(out, "bbbb") || !strings.Contains(out, "x") {
+		t.Errorf("table render missing content:\n%s", out)
+	}
+}
+
+func TestReportRendering(t *testing.T) {
+	r := &Report{ID: "figX", Title: "demo", Sections: []Section{{
+		Heading: "part",
+		Table:   &Table{Columns: []string{"c"}, Rows: [][]string{{"v"}}},
+		Series:  []Series{{Name: "s", X: []float64{1}, Y: []float64{2}}},
+		Notes:   []string{"n"},
+	}}}
+	out := r.String()
+	for _, want := range []string{"figX", "demo", "part", "series s", "note: n"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLookup(t *testing.T) {
+	for _, id := range IDs() {
+		if _, err := Lookup(id); err != nil {
+			t.Errorf("Lookup(%q): %v", id, err)
+		}
+		if _, err := Lookup("fig" + id); err != nil {
+			t.Errorf("Lookup(fig%q): %v", id, err)
+		}
+	}
+	if _, err := Lookup("nope"); err == nil {
+		t.Error("unknown id accepted")
+	}
+}
+
+func TestParseScale(t *testing.T) {
+	if s, err := ParseScale(""); err != nil || s != Quick {
+		t.Error("empty scale should be Quick")
+	}
+	if s, err := ParseScale("full"); err != nil || s != Full {
+		t.Error("full scale parse failed")
+	}
+	if _, err := ParseScale("xl"); err == nil {
+		t.Error("bad scale accepted")
+	}
+}
+
+// TestFig2Shape runs the sizing experiment and asserts the paper's three
+// qualitative findings.
+func TestFig2Shape(t *testing.T) {
+	r, err := Fig2(Quick, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := r.Sections[0].Table.Rows
+	parse := func(row int, col int) float64 {
+		var v float64
+		if _, err := fmt.Sscan(rows[row][col], &v); err != nil {
+			t.Fatalf("parse %q: %v", rows[row][col], err)
+		}
+		return v
+	}
+	small := parse(0, 2) // 250 KB steady ratio
+	right := parse(2, 2) // 1000 KB steady ratio
+	large := parse(3, 2) // 4000 KB steady ratio
+	if small >= 0.95 {
+		t.Errorf("undersized queue achieved %.3f, expected clear under-enforcement", small)
+	}
+	if right < 0.93 || right > 1.07 {
+		t.Errorf("requirement-sized queue achieved %.3f, want ≈1", right)
+	}
+	if large < 0.93 || large > 1.07 {
+		t.Errorf("oversized queue achieved %.3f, want ≈1 (size does not matter beyond the requirement)", large)
+	}
+	smallPeak := parse(0, 3)
+	largePeak := parse(3, 3)
+	if largePeak <= smallPeak {
+		t.Errorf("oversized queue peak %.2f not larger than undersized %.2f", largePeak, smallPeak)
+	}
+}
+
+// TestFig3Shape asserts that burst control restores fairness under the
+// secondary bottleneck.
+func TestFig3Shape(t *testing.T) {
+	r, err := Fig3(Quick, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jain := func(section int) float64 {
+		for _, n := range r.Sections[section].Notes {
+			var v float64
+			if _, err := fmt.Sscanf(n, "mean Jain index over run: %f", &v); err == nil {
+				return v
+			}
+		}
+		t.Fatalf("no Jain note in section %d", section)
+		return 0
+	}
+	pqp, bc := jain(0), jain(1)
+	if bc < 0.95 {
+		t.Errorf("BC-PQP Jain %.3f, want ≥0.95", bc)
+	}
+	if bc <= pqp {
+		t.Errorf("BC-PQP Jain (%.3f) not better than large-queue PQP (%.3f)", bc, pqp)
+	}
+}
+
+// TestFig5Shape asserts the efficiency ordering the paper reports.
+func TestFig5Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive")
+	}
+	const n = 200_000
+	policer := MeasureEfficiency(harness.SchemePolicer, n)
+	bcpqp := MeasureEfficiency(harness.SchemeBCPQP, n)
+	shaper := MeasureEfficiency(harness.SchemeShaper, n)
+	if bcpqp.NsPerPacket < policer.NsPerPacket {
+		t.Logf("bc-pqp (%.0f ns) cheaper than policer (%.0f ns)?",
+			bcpqp.NsPerPacket, policer.NsPerPacket)
+	}
+	if bcpqp.NsPerPacket > 6*policer.NsPerPacket {
+		t.Errorf("bc-pqp %.0f ns vs policer %.0f ns: ratio %.1f, want ≲6 (paper: 1.5-2)",
+			bcpqp.NsPerPacket, policer.NsPerPacket, bcpqp.NsPerPacket/policer.NsPerPacket)
+	}
+	if shaper.NsPerPacket < 3*bcpqp.NsPerPacket {
+		t.Errorf("shaper %.0f ns vs bc-pqp %.0f ns: ratio %.1f, want ≳3 (paper: 5-7)",
+			shaper.NsPerPacket, bcpqp.NsPerPacket, shaper.NsPerPacket/bcpqp.NsPerPacket)
+	}
+}
+
+func TestReportCSV(t *testing.T) {
+	r := &Report{ID: "figX", Sections: []Section{{
+		Table: &Table{Columns: []string{"a", "b,c"}, Rows: [][]string{{"1", `say "hi"`}}},
+		Series: []Series{{
+			Name: "flow 1", XLabel: "t", YLabel: "Mbps",
+			X: []float64{0, 0.25}, Y: []float64{1.5, 2},
+		}},
+	}}}
+	files := r.CSV()
+	if len(files) != 2 {
+		t.Fatalf("CSV produced %d files, want 2 (%v)", len(files), files)
+	}
+	table, ok := files["figX_1_table.csv"]
+	if !ok {
+		t.Fatalf("missing table file: %v", files)
+	}
+	if !strings.Contains(table, `"b,c"`) || !strings.Contains(table, `"say ""hi"""`) {
+		t.Errorf("CSV quoting broken:\n%s", table)
+	}
+	series, ok := files["figX_1_flow_1.csv"]
+	if !ok {
+		t.Fatalf("missing series file: %v", files)
+	}
+	if !strings.Contains(series, "t,Mbps") || !strings.Contains(series, "0.25,2") {
+		t.Errorf("series CSV content broken:\n%s", series)
+	}
+}
+
+func TestPlotRendersAllSeries(t *testing.T) {
+	out := Plot([]Series{
+		{Name: "a", XLabel: "t", YLabel: "Mbps", X: []float64{0, 1, 2}, Y: []float64{1, 2, 3}},
+		{Name: "b", X: []float64{0, 1, 2}, Y: []float64{3, 2, 1}},
+	})
+	for _, want := range []string{"Mbps", "t", "* a", "+ b", "3.0", "0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("plot missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPlotEmptyAndDegenerate(t *testing.T) {
+	if Plot(nil) != "" {
+		t.Error("empty plot should render nothing")
+	}
+	if Plot([]Series{{Name: "e"}}) != "" {
+		t.Error("pointless series should render nothing")
+	}
+	// A flat series must not divide by zero.
+	out := Plot([]Series{{Name: "flat", X: []float64{0, 1}, Y: []float64{5, 5}}})
+	if !strings.Contains(out, "flat") {
+		t.Error("flat series did not render")
+	}
+}
+
+// TestFig1bShape asserts the trade-off monotonicity: steady rate grows with
+// the bucket while the peak grows too.
+func TestFig1bShape(t *testing.T) {
+	r, err := Fig1b(Quick, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := r.Sections[0].Table.Rows
+	var prevRate float64
+	for i, row := range rows {
+		var rate float64
+		fmt.Sscan(row[2], &rate)
+		if i > 0 && rate < prevRate-0.08 {
+			t.Errorf("steady rate not (roughly) monotone in bucket size: row %d %.3f after %.3f",
+				i, rate, prevRate)
+		}
+		prevRate = rate
+	}
+	var smallPeak, bigPeak float64
+	fmt.Sscan(rows[0][3], &smallPeak)
+	fmt.Sscan(rows[len(rows)-1][3], &bigPeak)
+	if bigPeak <= smallPeak {
+		t.Errorf("peak did not grow with bucket: %.2f -> %.2f", smallPeak, bigPeak)
+	}
+}
+
+// TestFig6bcShape asserts FairPolicer's weighted failure vs BC-PQP.
+func TestFig6bcShape(t *testing.T) {
+	r, err := Fig6bc(Quick, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spread := func(section int) float64 {
+		var v float64
+		for _, n := range r.Sections[section].Notes {
+			if _, err := fmt.Sscanf(n, "completion-time spread max/min = %f", &v); err == nil {
+				return v
+			}
+		}
+		t.Fatalf("no spread note in section %d", section)
+		return 0
+	}
+	fp, bc := spread(0), spread(1)
+	if bc >= fp {
+		t.Errorf("BC-PQP spread (%.2f) not better than FairPolicer (%.2f)", bc, fp)
+	}
+	if bc > 2.0 {
+		t.Errorf("BC-PQP completion spread %.2f, want ≲2 (near-simultaneous)", bc)
+	}
+}
+
+// TestExtMemShape asserts the §2.1 memory argument: the shaper holds orders
+// of magnitude more memory per aggregate than BC-PQP.
+func TestExtMemShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocates heavily")
+	}
+	r, err := ExtMem(Quick, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := map[string]float64{}
+	for _, row := range r.Sections[0].Table.Rows {
+		var kb float64
+		fmt.Sscan(row[1], &kb)
+		vals[row[0]] = kb
+	}
+	if vals["shaper"] < 20*vals["bc-pqp"] {
+		t.Errorf("shaper %.1f KB vs bc-pqp %.1f KB; expected ≥20x gap", vals["shaper"], vals["bc-pqp"])
+	}
+}
+
+// TestExtECNShape asserts marks displace retransmissions.
+func TestExtECNShape(t *testing.T) {
+	r, err := ExtECN(Quick, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := r.Sections[0].Table.Rows
+	var dropRtx, ecnRtx float64
+	fmt.Sscan(rows[0][3], &dropRtx)
+	fmt.Sscan(rows[1][3], &ecnRtx)
+	if ecnRtx >= dropRtx {
+		t.Errorf("ECN retransmissions (%v) not below drop-based (%v)", ecnRtx, dropRtx)
+	}
+	var ecnRate float64
+	fmt.Sscan(rows[1][1], &ecnRate)
+	if ecnRate < 0.9 {
+		t.Errorf("ECN-marked flow at %.3f of rate, want ≥0.9", ecnRate)
+	}
+}
+
+// TestAllFiguresSmoke regenerates every registered figure at quick scale:
+// each must produce a non-empty report with at least one section.
+func TestAllFiguresSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every experiment")
+	}
+	reports, err := All(Quick, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != len(IDs()) {
+		t.Fatalf("All produced %d reports for %d ids", len(reports), len(IDs()))
+	}
+	for _, r := range reports {
+		if r.ID == "" || r.Title == "" || len(r.Sections) == 0 {
+			t.Errorf("report %q is empty", r.ID)
+		}
+		if out := r.String(); len(out) < 100 {
+			t.Errorf("report %q renders suspiciously short output", r.ID)
+		}
+		for name, csv := range r.CSV() {
+			if len(csv) == 0 {
+				t.Errorf("report %q produced empty CSV %q", r.ID, name)
+			}
+		}
+	}
+}

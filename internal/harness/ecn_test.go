@@ -1,0 +1,119 @@
+package harness
+
+import (
+	"testing"
+	"time"
+
+	"bcpqp/internal/metrics"
+	"bcpqp/internal/packet"
+	"bcpqp/internal/phantom"
+	"bcpqp/internal/units"
+)
+
+// TestECNEndToEnd drives an ECN-capable Reno flow through a marking RED
+// phantom queue and checks the full signal path: CE marks applied by the
+// enforcer, echoed by the receiver, and answered by the sender with
+// window reductions instead of retransmissions.
+func TestECNEndToEnd(t *testing.T) {
+	rate := 10 * units.Mbps
+	rtt := 50 * time.Millisecond
+	req := units.RenoPhantomRequirement(rate, rtt)
+	h, err := New(Config{
+		Scheme:           SchemePQP,
+		Rate:             rate,
+		MaxRTT:           rtt,
+		Queues:           1,
+		PhantomQueueSize: 4 * req,
+		PhantomRED: &phantom.REDConfig{
+			MinBytes: req,
+			MaxBytes: 4 * req,
+			MaxProb:  0.003,
+			Weight:   0.01,
+			Seed:     1,
+			MarkECN:  true,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := metrics.NewMeter(0)
+	flow, err := h.AttachFlow(FlowSpec{
+		Key:   packet.FlowKey{SrcIP: 1, SrcPort: 1, DstIP: 2, DstPort: 443, Proto: 6},
+		Class: 0,
+		CC:    "reno",
+		RTT:   rtt,
+		ECN:   true,
+		Start: 10 * time.Millisecond,
+		OnDeliver: func(now time.Duration, b int) {
+			m.Add(now, 0, b)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Run(30 * time.Second)
+
+	if flow.CEMarks == 0 {
+		t.Fatal("no CE marks reached the receiver")
+	}
+	if flow.ECNSignals == 0 {
+		t.Fatal("CE marks were never answered with a congestion response")
+	}
+	if flow.ECNSignals > flow.CEMarks {
+		t.Errorf("more responses (%d) than marks (%d); once-per-window gating broken",
+			flow.ECNSignals, flow.CEMarks)
+	}
+	// The marked flow should still hold near the enforced rate.
+	if got := steadyMbps(m, 0); got < 0.85*rate.Mbps() {
+		t.Errorf("ECN-marked flow at %.2f Mbps, want ≈%.0f", got, rate.Mbps())
+	}
+	// And marks should displace most losses.
+	st := h.Stats()
+	if st.DropRate() > 0.05 {
+		t.Errorf("drop rate %.3f with ECN marking, want small", st.DropRate())
+	}
+}
+
+// TestNonECTFlowStillDropped: without ECT, a marking RED queue must fall
+// back to dropping.
+func TestNonECTFlowStillDropped(t *testing.T) {
+	rate := 10 * units.Mbps
+	rtt := 50 * time.Millisecond
+	req := units.RenoPhantomRequirement(rate, rtt)
+	h, err := New(Config{
+		Scheme:           SchemePQP,
+		Rate:             rate,
+		MaxRTT:           rtt,
+		Queues:           1,
+		PhantomQueueSize: 4 * req,
+		PhantomRED: &phantom.REDConfig{
+			MinBytes: req,
+			MaxBytes: 4 * req,
+			MaxProb:  0.01,
+			Weight:   0.01,
+			Seed:     1,
+			MarkECN:  true,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flow, err := h.AttachFlow(FlowSpec{
+		Key:   packet.FlowKey{SrcIP: 1, SrcPort: 1, DstIP: 2, DstPort: 443, Proto: 6},
+		Class: 0,
+		CC:    "reno",
+		RTT:   rtt,
+		ECN:   false, // not ECN-capable
+		Start: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Run(15 * time.Second)
+	if flow.CEMarks != 0 {
+		t.Errorf("non-ECT flow received %d CE marks", flow.CEMarks)
+	}
+	if h.Stats().DroppedPackets == 0 {
+		t.Error("non-ECT flow saw no drops from the marking RED queue")
+	}
+}

@@ -1,0 +1,212 @@
+package harness
+
+import (
+	"testing"
+	"time"
+
+	"bcpqp/internal/metrics"
+	"bcpqp/internal/packet"
+	"bcpqp/internal/units"
+)
+
+// runSingleFlow drives one backlogged flow of the given CC through the
+// scheme and returns the achieved goodput over the measurement period
+// (excluding the first warmupSkip of the run).
+func runSingleFlow(t *testing.T, scheme Scheme, ccName string, rate units.Rate, rtt, dur time.Duration) units.Rate {
+	t.Helper()
+	h, err := New(Config{
+		Scheme: scheme,
+		Rate:   rate,
+		MaxRTT: rtt,
+		Queues: 4,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	meter := metrics.NewMeter(250 * time.Millisecond)
+	_, err = h.AttachFlow(FlowSpec{
+		Key:   packet.FlowKey{SrcIP: 1, SrcPort: 1, DstIP: 2, DstPort: 80, Proto: 6},
+		Class: 0,
+		CC:    ccName,
+		RTT:   rtt,
+		Start: 10 * time.Millisecond,
+		OnDeliver: func(now time.Duration, bytes int) {
+			meter.Add(now, 0, bytes)
+		},
+	})
+	if err != nil {
+		t.Fatalf("AttachFlow: %v", err)
+	}
+	h.Run(dur)
+
+	// Average rate over the second half of the run (steady state).
+	series := meter.Series(0)
+	var sum units.Rate
+	n := 0
+	for i := len(series) / 2; i < len(series); i++ {
+		sum += series[i]
+		n++
+	}
+	if n == 0 {
+		t.Fatalf("no measurement windows")
+	}
+	return sum / units.Rate(n)
+}
+
+func TestBacklogged(t *testing.T) {
+	const (
+		rate = 10 * units.Mbps
+		rtt  = 100 * time.Millisecond
+		dur  = 30 * time.Second
+	)
+	cases := []struct {
+		scheme   Scheme
+		cc       string
+		min, max float64 // bounds on achieved/enforced ratio
+	}{
+		{SchemeShaper, "reno", 0.90, 1.05},
+		{SchemeShaper, "cubic", 0.90, 1.05},
+		{SchemeShaper, "bbr", 0.80, 1.05},
+		{SchemeShaper, "vegas", 0.85, 1.05},
+		{SchemeBCPQP, "reno", 0.85, 1.10},
+		{SchemeBCPQP, "cubic", 0.85, 1.10},
+		{SchemeBCPQP, "bbr", 0.80, 1.15},
+		{SchemePQP, "reno", 0.85, 1.15},
+		{SchemePolicerPlus, "reno", 0.85, 1.20},
+		{SchemeFairPolicer, "reno", 0.80, 1.20},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.scheme.String()+"/"+tc.cc, func(t *testing.T) {
+			got := runSingleFlow(t, tc.scheme, tc.cc, rate, rtt, dur)
+			ratio := float64(got) / float64(rate)
+			t.Logf("%v/%s achieved %.3f of enforced rate", tc.scheme, tc.cc, ratio)
+			if ratio < tc.min || ratio > tc.max {
+				t.Errorf("achieved %.3f of enforced rate, want [%.2f, %.2f]",
+					ratio, tc.min, tc.max)
+			}
+		})
+	}
+}
+
+// TestBDPPolicerUnderenforces reproduces the §2.2 observation that a
+// BDP-sized policer bucket is too small for a Reno flow to reach the
+// enforced average rate at large RTT.
+func TestBDPPolicerUnderenforces(t *testing.T) {
+	got := runSingleFlow(t, SchemePolicer, "reno", 10*units.Mbps, 100*time.Millisecond, 30*time.Second)
+	ratio := float64(got) / float64(10*units.Mbps)
+	t.Logf("policer/reno achieved %.3f of enforced rate", ratio)
+	if ratio > 0.95 {
+		t.Errorf("BDP-sized policer achieved %.3f of rate; expected under-enforcement (<0.95)", ratio)
+	}
+	if ratio < 0.30 {
+		t.Errorf("BDP-sized policer achieved only %.3f; transport is likely broken", ratio)
+	}
+}
+
+// TestUndersizedPhantomQueueUnderenforces reproduces Fig 2: a phantom queue
+// far below the BDP²/18 Reno requirement cannot sustain the enforced rate.
+func TestUndersizedPhantomQueueUnderenforces(t *testing.T) {
+	const (
+		rate = 10 * units.Mbps
+		rtt  = 100 * time.Millisecond
+	)
+	req := units.RenoPhantomRequirement(rate, rtt)
+
+	h, err := New(Config{
+		Scheme:           SchemePQP,
+		Rate:             rate,
+		MaxRTT:           rtt,
+		Queues:           1,
+		PhantomQueueSize: req / 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	meter := metrics.NewMeter(250 * time.Millisecond)
+	if _, err := h.AttachFlow(FlowSpec{
+		Key:   packet.FlowKey{SrcIP: 1, SrcPort: 1, DstIP: 2, DstPort: 80, Proto: 6},
+		Class: 0,
+		CC:    "reno",
+		RTT:   rtt,
+		Start: 10 * time.Millisecond,
+		OnDeliver: func(now time.Duration, bytes int) {
+			meter.Add(now, 0, bytes)
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	h.Run(30 * time.Second)
+
+	var total int64
+	series := meter.WindowBytes(0)
+	for _, b := range series[len(series)/2:] {
+		total += b
+	}
+	avg := units.Rate(float64(total) * 8 / (float64(len(series)-len(series)/2) * 0.25))
+	ratio := float64(avg) / float64(rate)
+	t.Logf("undersized PQP achieved %.3f of enforced rate", ratio)
+	if ratio > 0.92 {
+		t.Errorf("queue of B/8 achieved %.3f of rate; expected clear under-enforcement", ratio)
+	}
+}
+
+func TestSchemeStringsAndParsing(t *testing.T) {
+	for _, s := range AllSchemes() {
+		name := s.String()
+		if name == "" {
+			t.Errorf("scheme %d has empty name", int(s))
+		}
+		back, err := ParseScheme(name)
+		if err != nil || back != s {
+			t.Errorf("round trip %q -> %v, %v", name, back, err)
+		}
+	}
+	if Scheme(99).String() == "" {
+		t.Error("unknown scheme should still stringify")
+	}
+	if _, err := ParseScheme("shaper-1q"); err != nil {
+		t.Errorf("shaper-1q alias: %v", err)
+	}
+	if _, err := ParseScheme("drr-shaper"); err != nil {
+		t.Errorf("drr-shaper alias: %v", err)
+	}
+}
+
+func TestSingleQueueShaperHarness(t *testing.T) {
+	h, err := New(Config{
+		Scheme: SchemeSingleShaper,
+		Rate:   5 * units.Mbps,
+		MaxRTT: 30 * time.Millisecond,
+		Queues: 8, // ignored: single-queue shaper collapses to one FIFO
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	meter := metrics.NewMeter(0)
+	if _, err := h.AttachFlow(FlowSpec{
+		Key:   packet.FlowKey{SrcIP: 1, SrcPort: 1, DstIP: 2, DstPort: 80, Proto: 6},
+		Class: 0,
+		CC:    "cubic",
+		RTT:   20 * time.Millisecond,
+		Start: 10 * time.Millisecond,
+		OnDeliver: func(now time.Duration, b int) {
+			meter.Add(now, 0, b)
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	h.Run(10 * time.Second)
+	if got := steadyMbps(meter, 0); got < 4 || got > 5.5 {
+		t.Errorf("single-queue shaper delivered %.2f Mbps, want ≈5", got)
+	}
+}
+
+func TestHarnessValidation(t *testing.T) {
+	if _, err := New(Config{Scheme: SchemeBCPQP, MaxRTT: time.Millisecond}); err == nil {
+		t.Error("zero rate accepted")
+	}
+	if _, err := New(Config{Scheme: SchemeBCPQP, Rate: units.Mbps}); err == nil {
+		t.Error("zero max RTT accepted")
+	}
+}

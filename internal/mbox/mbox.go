@@ -1,0 +1,258 @@
+// Package mbox implements a sharded middlebox engine that hosts many rate
+// enforcers (one per traffic aggregate) concurrently — the deployment shape
+// of the paper's middlebox, which polices thousands of subscribers at once.
+//
+// Aggregates are hashed across shards; each shard owns its aggregates
+// exclusively and processes packets on a single goroutine, so enforcers
+// never need locks on the datapath (the same shared-nothing sharding a
+// DPDK middlebox gets from RSS queues). Packets are handed to shards
+// through bounded rings: when a shard falls behind, excess packets are
+// dropped and counted as overload — a middlebox must shed load, not
+// buffer unboundedly.
+//
+// Control operations (add/remove/stats) are serialized through the same
+// shard goroutines, so they are safe during full-rate traffic.
+package mbox
+
+import (
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bcpqp/internal/enforcer"
+	"bcpqp/internal/packet"
+)
+
+// Emit is called by a shard for every transmitted packet. CE-marked
+// transmissions (AQM marking) arrive with pkt.CE set. Emit runs on the
+// shard goroutine: it must not block and must not call back into the
+// Engine (doing so can deadlock against a concurrent Close).
+type Emit func(pkt packet.Packet)
+
+// Config configures an Engine.
+type Config struct {
+	// Shards is the number of shard goroutines (default GOMAXPROCS).
+	Shards int
+	// QueueDepth is each shard's ingress ring capacity (default 1024).
+	QueueDepth int
+	// Clock supplies the virtual time passed to enforcers. The default
+	// is wall time since engine start. Tests inject deterministic
+	// clocks.
+	Clock func() time.Duration
+}
+
+// Engine hosts many enforcers behind a concurrent submit API.
+type Engine struct {
+	cfg    Config
+	shards []*shard
+
+	// Overloaded counts packets shed because a shard ring was full.
+	Overloaded atomic.Int64
+
+	mu     sync.RWMutex
+	index  map[string]*aggregate // id -> aggregate (shard-owned state inside)
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// aggregate pairs an enforcer with its emit hook.
+type aggregate struct {
+	id    string
+	enf   enforcer.Enforcer
+	emit  Emit
+	shard *shard
+}
+
+// item is one unit of shard work.
+type item struct {
+	agg *aggregate
+	pkt packet.Packet
+
+	// Control messages (exactly one non-nil field).
+	control func()
+	done    chan struct{}
+}
+
+// shard is one single-goroutine execution domain.
+type shard struct {
+	in chan item
+}
+
+// New starts an Engine.
+func New(cfg Config) *Engine {
+	if cfg.Shards <= 0 {
+		cfg.Shards = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 1024
+	}
+	if cfg.Clock == nil {
+		start := time.Now()
+		cfg.Clock = func() time.Duration { return time.Since(start) }
+	}
+	e := &Engine{
+		cfg:   cfg,
+		index: make(map[string]*aggregate),
+	}
+	for i := 0; i < cfg.Shards; i++ {
+		s := &shard{in: make(chan item, cfg.QueueDepth)}
+		e.shards = append(e.shards, s)
+		e.wg.Add(1)
+		go e.run(s)
+	}
+	return e
+}
+
+// run is a shard's event loop.
+func (e *Engine) run(s *shard) {
+	defer e.wg.Done()
+	for it := range s.in {
+		if it.control != nil {
+			it.control()
+			if it.done != nil {
+				close(it.done)
+			}
+			continue
+		}
+		switch it.agg.enf.Submit(e.cfg.Clock(), it.pkt) {
+		case enforcer.Transmit:
+			if it.agg.emit != nil {
+				it.agg.emit(it.pkt)
+			}
+		case enforcer.TransmitCE:
+			if it.agg.emit != nil {
+				it.pkt.CE = true
+				it.agg.emit(it.pkt)
+			}
+		}
+	}
+}
+
+// shardFor hashes an aggregate ID onto a shard.
+func (e *Engine) shardFor(id string) *shard {
+	h := fnv.New32a()
+	h.Write([]byte(id))
+	return e.shards[int(h.Sum32())%len(e.shards)]
+}
+
+// Add registers an enforcer for aggregate id. The engine takes exclusive
+// ownership of the enforcer: callers must not touch it afterwards (it runs
+// on a shard goroutine). emit receives transmitted packets and may be nil.
+func (e *Engine) Add(id string, enf enforcer.Enforcer, emit Emit) error {
+	if enf == nil {
+		return fmt.Errorf("mbox: nil enforcer for %q", id)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return fmt.Errorf("mbox: engine closed")
+	}
+	if _, dup := e.index[id]; dup {
+		return fmt.Errorf("mbox: aggregate %q already registered", id)
+	}
+	e.index[id] = &aggregate{id: id, enf: enf, emit: emit, shard: e.shardFor(id)}
+	return nil
+}
+
+// Remove unregisters an aggregate. In-flight packets already queued to the
+// shard are still processed (the aggregate's state stays valid until they
+// drain).
+func (e *Engine) Remove(id string) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, ok := e.index[id]; !ok {
+		return fmt.Errorf("mbox: unknown aggregate %q", id)
+	}
+	delete(e.index, id)
+	return nil
+}
+
+// Len returns the number of registered aggregates.
+func (e *Engine) Len() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return len(e.index)
+}
+
+// Submit hands a packet to aggregate id. It never blocks: when the owning
+// shard's ring is full the packet is shed and counted in Overloaded.
+// Unknown aggregates report an error (misrouted traffic should be visible).
+func (e *Engine) Submit(id string, pkt packet.Packet) error {
+	// The read lock is held across the ring send so Close (which takes
+	// the write lock before closing the rings) cannot race a send onto
+	// a closed channel.
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.closed {
+		return fmt.Errorf("mbox: engine closed")
+	}
+	agg, ok := e.index[id]
+	if !ok {
+		return fmt.Errorf("mbox: unknown aggregate %q", id)
+	}
+	select {
+	case agg.shard.in <- item{agg: agg, pkt: pkt}:
+		return nil
+	default:
+		e.Overloaded.Add(1)
+		return nil
+	}
+}
+
+// Stats reads an aggregate's enforcement statistics. The read executes on
+// the owning shard goroutine, so it is safe during traffic.
+func (e *Engine) Stats(id string) (enforcer.Stats, error) {
+	var out enforcer.Stats
+	err := e.control(id, func(enf enforcer.Enforcer) {
+		if sr, ok := enf.(enforcer.StatsReader); ok {
+			out = sr.EnforcerStats()
+		}
+	})
+	return out, err
+}
+
+// control runs fn on the aggregate's shard goroutine and waits for it. The
+// read lock is held only for the enqueue; waiting happens unlocked so shard
+// emit callbacks can run freely.
+func (e *Engine) control(id string, fn func(enforcer.Enforcer)) error {
+	e.mu.RLock()
+	if e.closed {
+		e.mu.RUnlock()
+		return fmt.Errorf("mbox: engine closed")
+	}
+	agg, ok := e.index[id]
+	if !ok {
+		e.mu.RUnlock()
+		return fmt.Errorf("mbox: unknown aggregate %q", id)
+	}
+	done := make(chan struct{})
+	agg.shard.in <- item{control: func() { fn(agg.enf) }, done: done}
+	e.mu.RUnlock()
+	<-done
+	return nil
+}
+
+// Flush runs fn for aggregate id on its shard goroutine — the hook for
+// periodic maintenance such as phantom Tick calls, executed race-free.
+func (e *Engine) Flush(id string, fn func(enf enforcer.Enforcer)) error {
+	return e.control(id, fn)
+}
+
+// Close drains the shards and stops their goroutines. Submitting after
+// Close returns an error. Close is idempotent.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	e.mu.Unlock()
+	for _, s := range e.shards {
+		close(s.in)
+	}
+	e.wg.Wait()
+}

@@ -1,0 +1,299 @@
+package mbox
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"bcpqp/internal/enforcer"
+	"bcpqp/internal/packet"
+	"bcpqp/internal/phantom"
+	"bcpqp/internal/tbf"
+	"bcpqp/internal/units"
+)
+
+// fakeClock is a deterministic, concurrency-safe virtual clock that
+// advances a fixed step per reading.
+type fakeClock struct {
+	step  time.Duration
+	ticks atomic.Int64
+}
+
+func (c *fakeClock) now() time.Duration {
+	return time.Duration(c.ticks.Add(1)) * c.step
+}
+
+func pkt(flow int) packet.Packet {
+	return packet.Packet{
+		Key:   packet.FlowKey{SrcPort: uint16(flow + 1), Proto: 6},
+		Size:  units.MSS,
+		Class: flow % 16,
+	}
+}
+
+func TestAddRemove(t *testing.T) {
+	e := New(Config{Shards: 2})
+	defer e.Close()
+	if err := e.Add("a", tbf.MustNew(units.Mbps, 10*units.MSS), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Add("a", tbf.MustNew(units.Mbps, 10*units.MSS), nil); err == nil {
+		t.Error("duplicate id accepted")
+	}
+	if err := e.Add("b", nil, nil); err == nil {
+		t.Error("nil enforcer accepted")
+	}
+	if e.Len() != 1 {
+		t.Errorf("Len = %d", e.Len())
+	}
+	if err := e.Remove("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Remove("a"); err == nil {
+		t.Error("double remove accepted")
+	}
+	if err := e.Submit("a", pkt(0)); err == nil {
+		t.Error("submit to removed aggregate accepted")
+	}
+}
+
+func TestPerAggregateRateEnforcement(t *testing.T) {
+	clock := &fakeClock{step: 100 * time.Microsecond}
+	e := New(Config{Shards: 4, Clock: clock.now, QueueDepth: 1 << 16})
+	defer e.Close()
+
+	// 8 aggregates, each with a BC-PQP at 8 Mbps. The virtual clock
+	// advances 100 µs per enforcer invocation across ALL aggregates, so
+	// the run spans a deterministic amount of virtual time.
+	const aggs = 8
+	var emitted [aggs]atomic.Int64
+	for i := 0; i < aggs; i++ {
+		i := i
+		enf := phantom.MustNew(phantom.Config{
+			Rate:         8 * units.Mbps,
+			Queues:       16,
+			QueueSize:    500 * units.MSS,
+			BurstControl: true,
+		})
+		if err := e.Add(fmt.Sprintf("agg-%d", i), enf, func(p packet.Packet) {
+			emitted[i].Add(int64(p.Size))
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Offer far above the rate from several goroutines.
+	var wg sync.WaitGroup
+	const perSender = 20000
+	for s := 0; s < 4; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for i := 0; i < perSender; i++ {
+				id := fmt.Sprintf("agg-%d", (s*perSender+i)%aggs)
+				if err := e.Submit(id, pkt(i)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+	e.Close() // drains the shards
+
+	if e.Overloaded.Load() > 0 {
+		t.Logf("overloaded: %d (queue depth generous; informational)", e.Overloaded.Load())
+	}
+	// Every aggregate must have emitted something, and nothing close to
+	// the full offered volume (10000 packets each at far above rate).
+	for i := 0; i < aggs; i++ {
+		got := emitted[i].Load()
+		if got == 0 {
+			t.Errorf("aggregate %d emitted nothing", i)
+		}
+		if got >= perSender*4/aggs*units.MSS {
+			t.Errorf("aggregate %d emitted everything (%d bytes); no enforcement", i, got)
+		}
+	}
+}
+
+func TestStatsOnShardGoroutine(t *testing.T) {
+	e := New(Config{Shards: 2})
+	defer e.Close()
+	if err := e.Add("x", tbf.MustNew(8*units.Mbps, 2*units.MSS), nil); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := e.Submit("x", pkt(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Stats is synchronous: it runs after everything queued before it.
+	st, err := e.Stats("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p, _ := st.Totals(); p != 10 {
+		t.Errorf("stats saw %d packets, want 10", p)
+	}
+	if _, err := e.Stats("nope"); err == nil {
+		t.Error("stats for unknown aggregate accepted")
+	}
+}
+
+func TestFlushRunsMaintenance(t *testing.T) {
+	e := New(Config{Shards: 1})
+	defer e.Close()
+	enf := phantom.MustNew(phantom.Config{
+		Rate: units.Mbps, Queues: 2, QueueSize: 100 * units.MSS,
+		BurstControl: true,
+	})
+	if err := e.Add("x", enf, nil); err != nil {
+		t.Fatal(err)
+	}
+	ran := false
+	if err := e.Flush("x", func(got enforcer.Enforcer) {
+		ran = got == enforcer.Enforcer(enf)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Error("flush did not run with the registered enforcer")
+	}
+}
+
+func TestOverloadSheds(t *testing.T) {
+	// A blocked shard must shed packets rather than block Submit.
+	gate := make(chan struct{})
+	e := New(Config{Shards: 1, QueueDepth: 4})
+	// LIFO: the gate must open before Close waits for the shard.
+	defer e.Close()
+	defer close(gate)
+	enf := tbf.MustNew(units.Mbps, 10*units.MSS)
+	if err := e.Add("x", enf, func(packet.Packet) { <-gate }); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(5 * time.Second)
+	for e.Overloaded.Load() == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("never shed load with a blocked shard")
+		default:
+		}
+		if err := e.Submit("x", pkt(0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestCloseIdempotentAndRejects(t *testing.T) {
+	e := New(Config{Shards: 2})
+	if err := e.Add("x", tbf.MustNew(units.Mbps, 10*units.MSS), nil); err != nil {
+		t.Fatal(err)
+	}
+	e.Close()
+	e.Close()
+	if err := e.Submit("x", pkt(0)); err == nil {
+		t.Error("submit after close accepted")
+	}
+	if _, err := e.Stats("x"); err == nil {
+		t.Error("stats after close accepted")
+	}
+	if err := e.Add("y", tbf.MustNew(units.Mbps, 10*units.MSS), nil); err == nil {
+		t.Error("add after close accepted")
+	}
+}
+
+func TestConcurrentAddRemoveDuringTraffic(t *testing.T) {
+	clock := &fakeClock{step: 10 * time.Microsecond}
+	e := New(Config{Shards: 4, Clock: clock.now, QueueDepth: 1 << 12})
+	defer e.Close()
+	if err := e.Add("steady", tbf.MustNew(8*units.Mbps, 100*units.MSS), nil); err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			e.Submit("steady", pkt(i))
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			id := fmt.Sprintf("churn-%d", i)
+			if err := e.Add(id, tbf.MustNew(units.Mbps, 10*units.MSS), nil); err != nil {
+				t.Error(err)
+				return
+			}
+			e.Submit(id, pkt(i))
+			if err := e.Remove(id); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	time.Sleep(20 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	if e.Len() != 1 {
+		t.Errorf("Len = %d after churn, want 1", e.Len())
+	}
+}
+
+func TestFlushDrivesPhantomMaintenance(t *testing.T) {
+	// Integration: burst-control magic reclaim driven through the
+	// engine's race-free Flush hook, the way a production deployment
+	// would run periodic Tick maintenance.
+	clock := &fakeClock{step: 50 * time.Microsecond}
+	e := New(Config{Shards: 1, Clock: clock.now, QueueDepth: 1 << 12})
+	defer e.Close()
+	enf := phantom.MustNew(phantom.Config{
+		Rate:         8 * units.Mbps,
+		Queues:       1,
+		QueueSize:    400 * units.MSS,
+		BurstControl: true,
+		Window:       10 * time.Millisecond,
+	})
+	if err := e.Add("x", enf, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Burst to trigger the magic fill.
+	for i := 0; i < 400; i++ {
+		if err := e.Submit("x", pkt(0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var magic int64
+	if err := e.Flush("x", func(got enforcer.Enforcer) {
+		magic = got.(*phantom.PQP).MagicBytes(0)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if magic == 0 {
+		t.Fatal("burst did not magic-fill through the engine")
+	}
+	// Let virtual time pass (each Flush advances the clock), then run
+	// Tick maintenance until the reclaim fires.
+	for i := 0; i < 10000 && magic > 0; i++ {
+		if err := e.Flush("x", func(got enforcer.Enforcer) {
+			p := got.(*phantom.PQP)
+			p.Tick(clock.now())
+			magic = p.MagicBytes(0)
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if magic != 0 {
+		t.Errorf("magic never reclaimed via engine maintenance: %d bytes", magic)
+	}
+}

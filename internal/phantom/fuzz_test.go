@@ -1,0 +1,82 @@
+package phantom
+
+import (
+	"testing"
+	"time"
+
+	"bcpqp/internal/packet"
+	"bcpqp/internal/sched"
+	"bcpqp/internal/units"
+)
+
+// FuzzSubmitInvariants feeds arbitrary byte strings as (gap, class, size)
+// operation streams into a burst-controlled PQP with a nested policy and
+// checks the structural invariants after every operation: non-negative
+// lengths, magic ≤ length, length ≤ B, and drop/accept accounting that sums
+// to the submitted totals.
+func FuzzSubmitInvariants(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	f.Add([]byte{0, 0, 0, 0, 0, 0})
+	f.Add([]byte{255, 254, 253, 252, 251, 250, 249, 248})
+	f.Add([]byte{7, 0, 7, 0, 7, 0, 200, 200, 200})
+
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		const B = 40 * units.MSS
+		policy := sched.MustNew(sched.Priority(
+			sched.Weighted(sched.Leaf(0).WithWeight(2), sched.Leaf(1)),
+			sched.Weighted(sched.Leaf(2), sched.Leaf(3)),
+		))
+		q := MustNew(Config{
+			Rate:         4 * units.Mbps,
+			Queues:       4,
+			QueueSize:    B,
+			Policy:       policy,
+			BurstControl: true,
+			Window:       10 * time.Millisecond,
+		})
+		now := time.Duration(0)
+		var submitted, accepted, dropped int64
+		for i := 0; i+2 < len(ops); i += 3 {
+			now += time.Duration(ops[i]) * 37 * time.Microsecond
+			class := int(ops[i+1]) % 4
+			size := 40 + int(ops[i+2])*8
+			v := q.Submit(now, packet.Packet{
+				Key:   packet.FlowKey{SrcPort: uint16(class)},
+				Class: class,
+				Size:  size,
+			})
+			submitted++
+			switch v {
+			case 0: // Transmit
+				accepted++
+			default:
+				dropped++
+			}
+			if ops[i]%11 == 0 {
+				now += time.Duration(ops[i]) * time.Millisecond
+				q.Tick(now)
+			}
+			for c := 0; c < 4; c++ {
+				l, m := q.QueueLength(c), q.MagicBytes(c)
+				if l < 0 {
+					t.Fatalf("queue %d negative length %d", c, l)
+				}
+				if m < 0 || m > l {
+					t.Fatalf("queue %d magic %d vs length %d", c, m, l)
+				}
+				if l > B {
+					t.Fatalf("queue %d length %d exceeds B=%d", c, l, B)
+				}
+			}
+		}
+		st := q.EnforcerStats()
+		if st.AcceptedPackets != accepted || st.DroppedPackets != dropped {
+			t.Fatalf("stats %d/%d vs observed %d/%d",
+				st.AcceptedPackets, st.DroppedPackets, accepted, dropped)
+		}
+		if st.AcceptedPackets+st.DroppedPackets != submitted {
+			t.Fatalf("accounting leak: %d+%d != %d",
+				st.AcceptedPackets, st.DroppedPackets, submitted)
+		}
+	})
+}

@@ -1,0 +1,93 @@
+package phantom
+
+import (
+	"time"
+)
+
+// EventKind identifies a phantom-queue event for observability hooks.
+type EventKind int
+
+const (
+	// EventAccept: a packet was admitted and its phantom copy enqueued.
+	EventAccept EventKind = iota
+	// EventDrop: a packet was rejected (full queue, RED, or filter).
+	EventDrop
+	// EventMark: a packet was admitted with an ECN CE mark.
+	EventMark
+	// EventMagicFill: burst control filled the queue with magic bytes.
+	EventMagicFill
+	// EventMagicReclaim: burst control reclaimed remaining magic bytes.
+	EventMagicReclaim
+)
+
+// String names the event kind.
+func (k EventKind) String() string {
+	switch k {
+	case EventAccept:
+		return "accept"
+	case EventDrop:
+		return "drop"
+	case EventMark:
+		return "mark"
+	case EventMagicFill:
+		return "magic-fill"
+	case EventMagicReclaim:
+		return "magic-reclaim"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is one observable phantom-queue transition. Emitted synchronously
+// from Submit/Tick; handlers must be fast and must not call back into the
+// enforcer.
+type Event struct {
+	Time  time.Duration
+	Class int
+	Kind  EventKind
+	// Bytes is the packet size (accept/drop/mark) or the magic byte
+	// count (fill/reclaim).
+	Bytes int64
+	// QueueLen is the queue's simulated occupancy after the event.
+	QueueLen int64
+}
+
+// Recorder is a fixed-capacity ring of recent events — a flight recorder
+// for debugging enforcement behaviour in production. The zero value is
+// unusable; construct with NewRecorder. Not safe for concurrent use (attach
+// one per enforcer, which is itself single-goroutine).
+type Recorder struct {
+	buf   []Event
+	next  int
+	total int64
+}
+
+// NewRecorder returns a ring holding the most recent n events.
+func NewRecorder(n int) *Recorder {
+	if n < 1 {
+		n = 1
+	}
+	return &Recorder{buf: make([]Event, 0, n)}
+}
+
+// Record stores an event; pass it as Config.OnEvent.
+func (r *Recorder) Record(e Event) {
+	r.total++
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, e)
+		return
+	}
+	r.buf[r.next] = e
+	r.next = (r.next + 1) % cap(r.buf)
+}
+
+// Events returns the recorded events, oldest first.
+func (r *Recorder) Events() []Event {
+	out := make([]Event, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// Total returns how many events were recorded overall (including evicted).
+func (r *Recorder) Total() int64 { return r.total }

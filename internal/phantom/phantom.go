@@ -1,0 +1,635 @@
+// Package phantom implements the paper's primary contribution: a traffic
+// policer built from phantom queues (PQP, §3) and its burst-controlled
+// extension (BC-PQP, §4).
+//
+// A phantom queue simulates the occupancy of a shaper's drop-tail queue
+// using byte counters, without buffering any real packets. On arrival a
+// packet is transmitted immediately if its queue has spare (simulated)
+// capacity — in which case a "phantom" copy worth the packet size is
+// enqueued — and dropped otherwise. Phantom packets are dequeued at the rate
+// the configured rate-sharing policy assigns to their queue; dequeues are
+// lazy and batched (counters advance on the next arrival), which is the
+// efficiency trick that lets PQP approach plain token-bucket cost.
+//
+// BC-PQP adds the burst-control mechanism of §4: per-queue accept-rate
+// accounting over tumbling windows of length T. If a queue accepts more
+// than θ⁺·r_i*·T bytes within a window — r_i* being its policy-assigned
+// drain rate estimated from the set of active queues — the queue is
+// "magically" filled to capacity with magic bytes, forcing the flow into
+// steady state without the giant slow-start burst an O(BDP²) queue would
+// otherwise admit. When the accept rate falls below θ⁻·r_i*·T the remaining
+// magic bytes are reclaimed so a departing flow frees its rate share
+// immediately.
+package phantom
+
+import (
+	"fmt"
+	"time"
+
+	"bcpqp/internal/enforcer"
+	"bcpqp/internal/packet"
+	"bcpqp/internal/sched"
+	"bcpqp/internal/units"
+)
+
+// Default burst-control parameters from §4 of the paper: θ⁺ and θ⁻ bound
+// New Reno's steady-state rate oscillation (4/3·r and 2/3·r, applied with
+// margin as 1.5 and 0.5), and T approximates a p99 WAN RTT.
+const (
+	DefaultThetaHi = 1.5
+	DefaultThetaLo = 0.5
+	DefaultWindow  = 100 * time.Millisecond
+)
+
+// Config configures a PQP or BC-PQP enforcer for one traffic aggregate.
+type Config struct {
+	// Rate is the aggregate rate to enforce.
+	Rate units.Rate
+	// Queues is the number of phantom queues N. Flows are classified
+	// into queues by flow-key hash unless packets carry explicit classes.
+	Queues int
+	// QueueSize is the simulated buffer size B of each queue in bytes.
+	// For correct average-rate enforcement it must be at least the Reno
+	// requirement BDP²/18 × MSS (Appendix A); with burst control enabled
+	// there is no upper limit and the paper recommends a very large value
+	// (≥ 10× the requirement).
+	QueueSize int64
+	// Policy is the rate-sharing policy across queues. Nil means per-flow
+	// fairness (equal-weight sharing over Queues classes).
+	Policy *sched.Policy
+	// BurstControl enables the BC-PQP mechanism. When false the enforcer
+	// is plain PQP.
+	BurstControl bool
+	// ThetaHi, ThetaLo, Window are the burst-control parameters θ⁺, θ⁻
+	// and T. Zero values select the paper defaults.
+	ThetaHi float64
+	ThetaLo float64
+	Window  time.Duration
+	// DrainBatch is the minimum accumulated drain budget (bytes) before
+	// a full-queue arrival triggers the batched phantom dequeue. Larger
+	// values amortize dequeue work over more packets at the cost of up
+	// to DrainBatch bytes of extra admission burstiness (negligible
+	// next to B). Zero selects 4 MSS.
+	DrainBatch int64
+	// RED optionally enables RED-style early drops on the simulated
+	// occupancy (the §3.3 active-queue-management extension).
+	RED *REDConfig
+	// Filter optionally rejects packets at arrival by arbitrary
+	// criteria before any queue accounting (the §3.3 access-control
+	// extension). Returning false drops the packet.
+	Filter func(pkt packet.Packet) bool
+	// OnEvent, when set, observes every queue transition (accepts,
+	// drops, marks, magic fills and reclaims) synchronously — the hook
+	// production deployments use for flight recording and debugging.
+	// Handlers must be fast and must not call back into the enforcer.
+	OnEvent func(Event)
+}
+
+// segment is a FIFO run of bytes in a phantom queue, either real (phantom
+// copies of transmitted packets) or magic (vacuous fill from burst control).
+// FIFO order is tracked only so that reclaiming magic removes exactly the
+// magic bytes that have not yet drained.
+type segment struct {
+	bytes int64
+	magic bool
+}
+
+// queue is one phantom queue: counters plus burst-control window state.
+type queue struct {
+	length int64 // total simulated occupancy incl. magic bytes
+	magic  int64 // magic bytes currently in the queue
+
+	segs []segment
+	head int // index of the FIFO front within segs
+
+	windowOpen  bool
+	windowStart time.Duration
+	accepted    int64 // bytes accepted in the current window
+
+	// Per-class statistics.
+	acceptedPackets int64
+	acceptedBytes   int64
+	droppedPackets  int64
+	droppedBytes    int64
+}
+
+// PQP is a phantom-queue policer (optionally burst-controlled) for a single
+// traffic aggregate. It is not safe for concurrent use; shard aggregates
+// across goroutines instead, as a middlebox shards across cores.
+type PQP struct {
+	cfg   Config
+	stats enforcer.Stats
+
+	queues []queue
+
+	lastDrain   time.Duration
+	drainCredit float64 // fractional bytes of drain budget carried over
+
+	// shares caches the per-class drain rates for the current active
+	// set (queues with non-zero length). It is invalidated whenever a
+	// queue transitions between empty and occupied, so the per-packet
+	// burst-control check is a cached read rather than a policy-tree
+	// walk.
+	shares      []float64
+	sharesValid bool
+
+	// flatWeights enables the allocation-free drain fast path for
+	// single-level weighted (fair) policies; nil for hierarchical or
+	// priority trees, which use the generic GPS walk.
+	flatWeights []float64
+
+	// red holds per-queue RED state when the AQM extension is enabled.
+	red []redState
+
+	started bool
+}
+
+// New validates cfg and returns a PQP (or BC-PQP when cfg.BurstControl).
+func New(cfg Config) (*PQP, error) {
+	if cfg.Rate <= 0 {
+		return nil, fmt.Errorf("phantom: non-positive rate %v", cfg.Rate)
+	}
+	if cfg.Queues <= 0 {
+		return nil, fmt.Errorf("phantom: need at least one queue, got %d", cfg.Queues)
+	}
+	if cfg.QueueSize < units.MSS {
+		return nil, fmt.Errorf("phantom: queue size %d below one MSS", cfg.QueueSize)
+	}
+	if cfg.Policy == nil {
+		cfg.Policy = sched.Fair(cfg.Queues)
+	}
+	if cfg.Policy.NumClasses() != cfg.Queues {
+		return nil, fmt.Errorf("phantom: policy covers %d classes but enforcer has %d queues",
+			cfg.Policy.NumClasses(), cfg.Queues)
+	}
+	if cfg.ThetaHi == 0 {
+		cfg.ThetaHi = DefaultThetaHi
+	}
+	if cfg.ThetaLo == 0 {
+		cfg.ThetaLo = DefaultThetaLo
+	}
+	if cfg.Window == 0 {
+		cfg.Window = DefaultWindow
+	}
+	if cfg.BurstControl {
+		if cfg.ThetaHi <= cfg.ThetaLo {
+			return nil, fmt.Errorf("phantom: θ+ (%v) must exceed θ- (%v)", cfg.ThetaHi, cfg.ThetaLo)
+		}
+		if cfg.Window <= 0 {
+			return nil, fmt.Errorf("phantom: non-positive window %v", cfg.Window)
+		}
+	}
+	if cfg.DrainBatch <= 0 {
+		cfg.DrainBatch = 4 * units.MSS
+	}
+	// Keep the batch a small fraction of the queue so tiny queues still
+	// free space at per-packet granularity.
+	if maxBatch := cfg.QueueSize / 4; cfg.DrainBatch > maxBatch {
+		cfg.DrainBatch = maxBatch
+		if cfg.DrainBatch < units.MSS {
+			cfg.DrainBatch = units.MSS
+		}
+	}
+	p := &PQP{
+		cfg:    cfg,
+		queues: make([]queue, cfg.Queues),
+		shares: make([]float64, cfg.Queues),
+	}
+	p.flatWeights = cfg.Policy.FlatWeighted()
+	if cfg.RED != nil {
+		if err := cfg.RED.validate(cfg.QueueSize); err != nil {
+			return nil, err
+		}
+		p.cfg.RED = cfg.RED
+		p.red = make([]redState, cfg.Queues)
+		for i := range p.red {
+			p.red[i].rng = (cfg.RED.Seed+uint64(i))*0x9E3779B97F4A7C15 | 1
+		}
+	}
+	return p, nil
+}
+
+// MustNew is New that panics on error, for tests and static configuration.
+func MustNew(cfg Config) *PQP {
+	p, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Submit implements enforcer.Enforcer. Virtual time must be non-decreasing.
+//
+// The fast path performs no phantom dequeues: drains are batched and only
+// applied when the target queue appears full (§3.1's "phantom dequeues can
+// be batched and done only when the phantom queue becomes full"). Stale
+// occupancy only ever overestimates, so admission decisions after the
+// batched drain are identical to eagerly-drained ones.
+func (p *PQP) Submit(now time.Duration, pkt packet.Packet) enforcer.Verdict {
+	if !p.started {
+		p.started = true
+		p.lastDrain = now
+	}
+
+	class := pkt.ClassIn(p.cfg.Queues)
+	q := &p.queues[class]
+	size := int64(pkt.Size)
+
+	// Access-control filter: reject on arrival by arbitrary criteria,
+	// before any queue accounting (§3.3).
+	if p.cfg.Filter != nil && !p.cfg.Filter(pkt) {
+		q.droppedPackets++
+		q.droppedBytes += size
+		p.stats.Reject(pkt.Size)
+		p.emit(now, class, EventDrop, size, q.length)
+		return enforcer.Drop
+	}
+
+	if p.cfg.BurstControl {
+		p.rollWindow(now, class)
+	}
+
+	// Drop-tail admission on the simulated buffer, with batched lazy
+	// dequeues applied only when the stale occupancy looks full AND at
+	// least DrainBatch bytes of drain budget have accrued (amortizing
+	// dequeue work over several packets; unapplied budget is never
+	// lost, so the long-term rate is exact).
+	if q.length+size > p.cfg.QueueSize || p.red != nil {
+		if p.drainCredit+p.cfg.Rate.Bytes(now-p.lastDrain) >= float64(p.cfg.DrainBatch) {
+			p.advance(now)
+		}
+	}
+	// RED early signal on the averaged simulated occupancy (§3.3 AQM):
+	// drop, or an ECN congestion-experienced mark for capable packets.
+	markCE := false
+	if p.red != nil && p.red[class].early(p.cfg.RED, q.length) {
+		if p.cfg.RED.MarkECN && pkt.ECT {
+			markCE = true
+		} else {
+			q.droppedPackets++
+			q.droppedBytes += size
+			p.stats.Reject(pkt.Size)
+			p.emit(now, class, EventDrop, size, q.length)
+			return enforcer.Drop
+		}
+	}
+	if q.length+size > p.cfg.QueueSize {
+		q.droppedPackets++
+		q.droppedBytes += size
+		p.stats.Reject(pkt.Size)
+		p.emit(now, class, EventDrop, size, q.length)
+		return enforcer.Drop
+	}
+
+	p.accept(now, class, q, size)
+	if markCE {
+		p.emit(now, class, EventMark, size, q.length)
+		return enforcer.TransmitCE
+	}
+	p.emit(now, class, EventAccept, size, q.length)
+	return enforcer.Transmit
+}
+
+// accept performs the admission bookkeeping shared by Submit and Commit:
+// the phantom enqueue, statistics, and burst-control window accounting
+// (including the θ⁺ magic fill).
+func (p *PQP) accept(now time.Duration, class int, q *queue, size int64) {
+	if q.length == 0 {
+		p.sharesValid = false // queue becomes active
+	}
+	q.pushReal(size)
+	q.acceptedPackets++
+	q.acceptedBytes += size
+	p.stats.Accept(int(size))
+
+	if p.cfg.BurstControl {
+		if !q.windowOpen {
+			q.windowOpen = true
+			q.windowStart = now
+			q.accepted = 0
+		}
+		q.accepted += size
+		// High-threshold check: if this queue accepted more than
+		// θ⁺·r_i*·T in the current window, fill it with magic bytes.
+		x := p.expectedWindowBytes(class)
+		if x > 0 && float64(q.accepted) > p.cfg.ThetaHi*x {
+			p.fillMagic(now, class, q)
+		}
+	}
+}
+
+// emit publishes an observability event when a handler is attached.
+func (p *PQP) emit(now time.Duration, class int, kind EventKind, bytes, qlen int64) {
+	if p.cfg.OnEvent != nil {
+		p.cfg.OnEvent(Event{Time: now, Class: class, Kind: kind, Bytes: bytes, QueueLen: qlen})
+	}
+}
+
+// Probe reports whether a packet would be admitted at now, applying the
+// same batched lazy drains as Submit but changing no admission state. It
+// considers simulated-buffer capacity only — RED and arrival filters are
+// properties of a specific enforcement point, not of capacity, and remain
+// Submit-only. Probe/Commit implement two-phase admission for cascaded
+// (multi-level) rate limits: probe every level, commit only if all accept,
+// so no phantom copy is ever enqueued for a packet another level drops.
+func (p *PQP) Probe(now time.Duration, pkt packet.Packet) bool {
+	if !p.started {
+		p.started = true
+		p.lastDrain = now
+	}
+	class := pkt.ClassIn(p.cfg.Queues)
+	q := &p.queues[class]
+	size := int64(pkt.Size)
+	if q.length+size > p.cfg.QueueSize {
+		if p.drainCredit+p.cfg.Rate.Bytes(now-p.lastDrain) >= float64(p.cfg.DrainBatch) {
+			p.advance(now)
+		}
+	}
+	return q.length+size <= p.cfg.QueueSize
+}
+
+// Commit admits a packet previously accepted by Probe: the phantom copy is
+// enqueued and burst-control accounting runs. The pair (Probe → all levels
+// accept → Commit) must happen at the same virtual time.
+func (p *PQP) Commit(now time.Duration, pkt packet.Packet) {
+	class := pkt.ClassIn(p.cfg.Queues)
+	q := &p.queues[class]
+	size := int64(pkt.Size)
+	if p.cfg.BurstControl {
+		p.rollWindow(now, class)
+	}
+	p.accept(now, class, q, size)
+	p.emit(now, class, EventAccept, size, q.length)
+}
+
+// Tick advances phantom drains and burst-control windows to now without
+// submitting a packet. Experiments call it periodically so idle queues
+// reclaim magic bytes and share estimates stay fresh even when an aggregate
+// goes quiet.
+func (p *PQP) Tick(now time.Duration) {
+	p.advance(now)
+	if p.cfg.BurstControl {
+		for i := range p.queues {
+			p.rollWindow(now, i)
+		}
+	}
+}
+
+// advance performs the batched lazy phantom dequeues: it distributes the
+// drain budget accumulated since the last advance across occupied queues
+// according to the policy, exactly as the analogous shaper would serve them.
+func (p *PQP) advance(now time.Duration) {
+	if !p.started {
+		p.started = true
+		p.lastDrain = now
+		return
+	}
+	if now <= p.lastDrain {
+		return
+	}
+	budget := p.drainCredit + p.cfg.Rate.Bytes(now-p.lastDrain)
+	p.lastDrain = now
+	whole := int64(budget)
+	p.drainCredit = budget - float64(whole)
+	if whole <= 0 {
+		return
+	}
+	if p.flatWeights != nil {
+		p.flatDrain(whole)
+		return
+	}
+	p.cfg.Policy.Drain(whole,
+		func(class int) int64 { return p.queues[class].length },
+		func(class int, n int64) {
+			q := &p.queues[class]
+			q.drain(n)
+			if q.length == 0 {
+				p.sharesValid = false // queue goes idle
+			}
+		})
+}
+
+// flatDrain is the allocation-free GPS drain for single-level weighted
+// policies: the budget is split among occupied queues in weight proportion,
+// re-allocating the slack of queues that empty (work conservation).
+func (p *PQP) flatDrain(budget int64) {
+	for budget > 0 {
+		var wsum float64
+		occupied := 0
+		for i := range p.queues {
+			if p.queues[i].length > 0 {
+				wsum += p.flatWeights[i]
+				occupied++
+			}
+		}
+		if occupied == 0 {
+			return
+		}
+		// Drain queues whose backlog fits inside their allocation
+		// first; if none fits, hand out proportional shares (plus the
+		// rounding remainder) and finish.
+		drainedSmall := false
+		for i := range p.queues {
+			q := &p.queues[i]
+			if q.length == 0 {
+				continue
+			}
+			alloc := int64(float64(budget) * p.flatWeights[i] / wsum)
+			if q.length <= alloc {
+				budget -= q.length
+				q.drain(q.length)
+				p.sharesValid = false
+				drainedSmall = true
+			}
+		}
+		if drainedSmall {
+			continue
+		}
+		var consumed int64
+		for i := range p.queues {
+			q := &p.queues[i]
+			if q.length == 0 {
+				continue
+			}
+			alloc := int64(float64(budget) * p.flatWeights[i] / wsum)
+			q.drain(alloc)
+			consumed += alloc
+			if q.length == 0 {
+				p.sharesValid = false
+			}
+		}
+		// Rounding remainder: give leftover bytes to queues with
+		// remaining backlog, one pass.
+		leftover := budget - consumed
+		for i := range p.queues {
+			if leftover == 0 {
+				break
+			}
+			q := &p.queues[i]
+			if q.length > 0 {
+				d := leftover
+				if d > q.length {
+					d = q.length
+				}
+				q.drain(d)
+				leftover -= d
+				if q.length == 0 {
+					p.sharesValid = false
+				}
+			}
+		}
+		return
+	}
+}
+
+// rollWindow closes an expired burst-control window on queue class: if the
+// queue accepted less than θ⁻·r_i*·T bytes it is "finishing", so remaining
+// magic bytes are reclaimed and its rate share frees up immediately.
+func (p *PQP) rollWindow(now time.Duration, class int) {
+	q := &p.queues[class]
+	if !q.windowOpen || now < q.windowStart+p.cfg.Window {
+		return
+	}
+	x := p.expectedWindowBytes(class)
+	if float64(q.accepted) < p.cfg.ThetaLo*x && q.magic > 0 {
+		reclaimed := q.magic
+		q.reclaimMagic()
+		p.emit(now, class, EventMagicReclaim, reclaimed, q.length)
+		if q.length == 0 {
+			p.sharesValid = false
+		}
+	}
+	if q.length == 0 {
+		q.windowOpen = false
+		q.accepted = 0
+		return
+	}
+	q.windowStart = now
+	q.accepted = 0
+}
+
+// expectedWindowBytes returns X_i = r_i*·T: the bytes queue class is
+// expected to drain over one window given the current active set, with the
+// class itself counted active (it is being evaluated because it carries
+// traffic). The share vector is cached and recomputed only when the active
+// set changes, which keeps the per-packet burst-control check O(1).
+func (p *PQP) expectedWindowBytes(class int) float64 {
+	if !p.sharesValid || (p.queues[class].length == 0 && p.shares[class] == 0) {
+		p.cfg.Policy.Shares(p.cfg.Rate.BytesPerSecond(),
+			func(c int) bool { return c == class || p.queues[c].length > 0 },
+			p.shares)
+		p.sharesValid = p.queues[class].length > 0
+	}
+	return p.shares[class] * p.cfg.Window.Seconds()
+}
+
+// fillMagic vacuously fills q to capacity with magic bytes.
+func (p *PQP) fillMagic(now time.Duration, class int, q *queue) {
+	m := p.cfg.QueueSize - q.length
+	if m <= 0 {
+		return
+	}
+	q.segs = append(q.segs, segment{bytes: m, magic: true})
+	q.magic += m
+	q.length += m
+	p.emit(now, class, EventMagicFill, m, q.length)
+}
+
+// pushReal appends s real phantom bytes, coalescing with a real tail
+// segment to keep the deque short.
+func (q *queue) pushReal(s int64) {
+	if n := len(q.segs); n > q.head && !q.segs[n-1].magic {
+		q.segs[n-1].bytes += s
+	} else {
+		q.segs = append(q.segs, segment{bytes: s})
+	}
+	q.length += s
+}
+
+// drain removes n bytes from the FIFO front, tracking how many of them were
+// magic.
+func (q *queue) drain(n int64) {
+	if n > q.length {
+		n = q.length
+	}
+	q.length -= n
+	for n > 0 {
+		s := &q.segs[q.head]
+		take := s.bytes
+		if take > n {
+			take = n
+		}
+		s.bytes -= take
+		if s.magic {
+			q.magic -= take
+		}
+		n -= take
+		if s.bytes == 0 {
+			q.head++
+		}
+	}
+	q.compact()
+}
+
+// reclaimMagic removes every remaining magic byte from the queue.
+func (q *queue) reclaimMagic() {
+	if q.magic == 0 {
+		return
+	}
+	out := q.segs[q.head:q.head]
+	for _, s := range q.segs[q.head:] {
+		if s.magic {
+			continue
+		}
+		if n := len(out); n > 0 && !out[n-1].magic {
+			out[n-1].bytes += s.bytes
+		} else {
+			out = append(out, s)
+		}
+	}
+	q.length -= q.magic
+	q.magic = 0
+	q.segs = q.segs[:q.head+len(out)]
+	q.compact()
+}
+
+// compact resets the deque storage once fully drained, or slides it down
+// when the dead prefix dominates, keeping memory bounded.
+func (q *queue) compact() {
+	if q.head == len(q.segs) {
+		q.segs = q.segs[:0]
+		q.head = 0
+		return
+	}
+	if q.head > 32 && q.head > len(q.segs)/2 {
+		n := copy(q.segs, q.segs[q.head:])
+		q.segs = q.segs[:n]
+		q.head = 0
+	}
+}
+
+// QueueLength returns the simulated occupancy (including magic bytes) of
+// queue class, after any pending batched dequeues are accounted for by the
+// most recent Submit/Tick.
+func (p *PQP) QueueLength(class int) int64 { return p.queues[class].length }
+
+// MagicBytes returns the magic bytes currently in queue class.
+func (p *PQP) MagicBytes(class int) int64 { return p.queues[class].magic }
+
+// EnforcerStats implements enforcer.StatsReader.
+func (p *PQP) EnforcerStats() enforcer.Stats { return p.stats }
+
+// ClassStats returns accepted/dropped counters for one queue.
+func (p *PQP) ClassStats(class int) (acceptedPkts, acceptedBytes, droppedPkts, droppedBytes int64) {
+	q := &p.queues[class]
+	return q.acceptedPackets, q.acceptedBytes, q.droppedPackets, q.droppedBytes
+}
+
+// NumQueues returns the configured number of phantom queues.
+func (p *PQP) NumQueues() int { return p.cfg.Queues }
+
+// Rate returns the configured aggregate rate.
+func (p *PQP) Rate() units.Rate { return p.cfg.Rate }
+
+var _ enforcer.Enforcer = (*PQP)(nil)
+var _ enforcer.StatsReader = (*PQP)(nil)

@@ -1,0 +1,107 @@
+package sched
+
+import (
+	"testing"
+)
+
+// FuzzDrainConservation drives the GPS drain engine with arbitrary backlog
+// vectors and budgets across several policy shapes, asserting the
+// conservation law: exactly min(budget, total backlog) is drained, no queue
+// goes negative, and work conservation holds (no budget left while backlog
+// remains).
+func FuzzDrainConservation(f *testing.F) {
+	f.Add(uint32(1000), uint32(2000), uint32(0), uint32(500), uint32(3000))
+	f.Add(uint32(0), uint32(0), uint32(0), uint32(0), uint32(1))
+	f.Add(uint32(1<<30), uint32(1), uint32(1<<20), uint32(7), uint32(1<<31-1))
+
+	policies := []*Policy{
+		Fair(4),
+		WeightedFair(5, 1, 3, 2),
+		StrictPriority(4),
+		MustNew(Priority(
+			Weighted(Leaf(0).WithWeight(3), Leaf(1)),
+			Weighted(Leaf(2), Leaf(3).WithWeight(9)),
+		)),
+		MustNew(Weighted(
+			Priority(Leaf(0), Leaf(1)).WithWeight(2),
+			Priority(Leaf(2), Leaf(3)),
+		)),
+	}
+
+	f.Fuzz(func(t *testing.T, a, b, c, d, budget uint32) {
+		lens := []int64{int64(a % 1e7), int64(b % 1e7), int64(c % 1e7), int64(d % 1e7)}
+		bud := int64(budget % 3e7)
+		for _, p := range policies {
+			q := make([]int64, 4)
+			copy(q, lens)
+			var total int64
+			for _, l := range q {
+				total += l
+			}
+			want := bud
+			if total < want {
+				want = total
+			}
+			got := p.Drain(bud,
+				func(i int) int64 { return q[i] },
+				func(i int, n int64) {
+					q[i] -= n
+					if q[i] < 0 {
+						t.Fatalf("queue %d over-drained to %d", i, q[i])
+					}
+				})
+			if got != want {
+				t.Fatalf("drained %d, want %d (budget %d, backlog %d)", got, want, bud, total)
+			}
+			var left int64
+			for _, l := range q {
+				left += l
+			}
+			if left != total-got {
+				t.Fatalf("backlog accounting: left %d, want %d", left, total-got)
+			}
+		}
+	})
+}
+
+// FuzzSharesConservation checks that Shares always distributes exactly the
+// offered rate over the active set.
+func FuzzSharesConservation(f *testing.F) {
+	f.Add(uint8(0b1010))
+	f.Add(uint8(0b1111))
+	f.Add(uint8(0))
+
+	policies := []*Policy{
+		Fair(4),
+		WeightedFair(9, 1, 4, 4),
+		StrictPriority(4),
+		MustNew(Priority(
+			Weighted(Leaf(0), Leaf(1).WithWeight(5)),
+			Weighted(Leaf(2).WithWeight(2), Leaf(3)),
+		)),
+	}
+	f.Fuzz(func(t *testing.T, mask uint8) {
+		active := func(c int) bool { return mask&(1<<uint(c)) != 0 }
+		anyActive := mask&0xF != 0
+		out := make([]float64, 4)
+		for _, p := range policies {
+			p.Shares(100, active, out)
+			var sum float64
+			for c, s := range out {
+				if s < 0 {
+					t.Fatalf("negative share %v for class %d", s, c)
+				}
+				if !active(c) && s != 0 {
+					t.Fatalf("inactive class %d got share %v", c, s)
+				}
+				sum += s
+			}
+			if anyActive && (sum < 99.9999 || sum > 100.0001) {
+				t.Fatalf("shares sum %v, want 100 (mask %04b)", sum, mask)
+			}
+			if !anyActive && sum != 0 {
+				t.Fatalf("idle policy distributed %v", sum)
+			}
+		}
+	})
+}

@@ -1,0 +1,134 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"bcpqp/internal/rng"
+	"bcpqp/internal/units"
+)
+
+func TestSection61Composition(t *testing.T) {
+	src := rng.New(1)
+	aggs := Section61(src, Section61Config{
+		Aggregates: 60,
+		Rate:       units.Rate(7.5 * units.Mbps),
+		Duration:   20 * time.Second,
+	})
+	if len(aggs) != 60 {
+		t.Fatalf("built %d aggregates, want 60", len(aggs))
+	}
+	kinds := map[string]int{}
+	for _, a := range aggs {
+		kinds[a.Label]++
+		if a.Rate != units.Rate(7.5*units.Mbps) {
+			t.Errorf("aggregate rate %v", a.Rate)
+		}
+		if len(a.Flows) < 2 || len(a.Flows) > 6 {
+			t.Errorf("aggregate has %d flows, want 2-6", len(a.Flows))
+		}
+	}
+	// All six composition groups must appear.
+	for _, label := range []string{
+		"same-cc/backlogged", "same-cc/onoff", "same-cc/mixed",
+		"mixed-cc/backlogged", "mixed-cc/onoff", "mixed-cc/mixed",
+	} {
+		if kinds[label] == 0 {
+			t.Errorf("composition %q missing (%v)", label, kinds)
+		}
+	}
+}
+
+func TestSection61Homogeneity(t *testing.T) {
+	src := rng.New(2)
+	aggs := Section61(src, Section61Config{Aggregates: 40, Rate: units.Mbps})
+	for _, a := range aggs {
+		ccs := map[string]bool{}
+		rtts := map[time.Duration]bool{}
+		for _, f := range a.Flows {
+			ccs[f.CC] = true
+			rtts[f.RTT] = true
+			if f.RTT < 2*time.Millisecond || f.RTT > 50*time.Millisecond {
+				t.Errorf("RTT %v outside the paper's 2-50ms range", f.RTT)
+			}
+		}
+		if a.Label[:7] == "same-cc" {
+			if len(ccs) != 1 || len(rtts) != 1 {
+				t.Errorf("homogeneous aggregate has %d CCs, %d RTTs", len(ccs), len(rtts))
+			}
+		}
+	}
+}
+
+func TestSection61FlowKinds(t *testing.T) {
+	src := rng.New(3)
+	aggs := Section61(src, Section61Config{Aggregates: 36, Rate: units.Mbps})
+	for _, a := range aggs {
+		for _, f := range a.Flows {
+			switch {
+			case a.Label == "same-cc/backlogged" || a.Label == "mixed-cc/backlogged":
+				if f.Size != 0 || f.OnOff != nil {
+					t.Errorf("%s has non-backlogged flow", a.Label)
+				}
+			case a.Label == "same-cc/onoff" || a.Label == "mixed-cc/onoff":
+				if f.Size == 0 || f.OnOff == nil {
+					t.Errorf("%s has non-onoff flow", a.Label)
+				}
+				// Upper bound scales with rate (≥4 MB floor).
+				if f.OnOff.BurstBytes < 20*units.KB || f.OnOff.BurstBytes > 40*units.MB {
+					t.Errorf("burst size %d outside range", f.OnOff.BurstBytes)
+				}
+			}
+		}
+	}
+}
+
+func TestSection61Deterministic(t *testing.T) {
+	a := Section61(rng.New(7), Section61Config{Aggregates: 10, Rate: units.Mbps})
+	b := Section61(rng.New(7), Section61Config{Aggregates: 10, Rate: units.Mbps})
+	for i := range a {
+		if a[i].Label != b[i].Label || len(a[i].Flows) != len(b[i].Flows) {
+			t.Fatal("workload not deterministic")
+		}
+		for j := range a[i].Flows {
+			if a[i].Flows[j] != b[i].Flows[j] && a[i].Flows[j].OnOff == nil {
+				t.Fatal("flow specs differ across identical seeds")
+			}
+		}
+	}
+}
+
+func TestMaxRTT(t *testing.T) {
+	agg := Aggregate{Flows: []FlowSpec{
+		{RTT: 10 * time.Millisecond},
+		{RTT: 45 * time.Millisecond},
+		{RTT: 3 * time.Millisecond},
+	}}
+	if got := agg.MaxRTT(); got != 45*time.Millisecond {
+		t.Errorf("MaxRTT = %v", got)
+	}
+}
+
+func TestBacklogged(t *testing.T) {
+	agg := Backlogged(units.Mbps,
+		[]string{"reno", "cubic"},
+		[]time.Duration{10 * time.Millisecond},
+		4, time.Second)
+	if len(agg.Flows) != 4 {
+		t.Fatalf("flows = %d", len(agg.Flows))
+	}
+	if agg.Flows[0].CC != "reno" || agg.Flows[1].CC != "cubic" || agg.Flows[2].CC != "reno" {
+		t.Error("CC cycling broken")
+	}
+	for i, f := range agg.Flows {
+		if f.Class != i {
+			t.Errorf("flow %d class %d", i, f.Class)
+		}
+		if f.Size != 0 {
+			t.Errorf("flow %d not backlogged", i)
+		}
+		if f.Start != time.Second {
+			t.Errorf("flow %d start %v", i, f.Start)
+		}
+	}
+}

@@ -1,0 +1,43 @@
+package bcpqp
+
+import (
+	"bcpqp/internal/cascade"
+	"bcpqp/internal/enforcer"
+	"bcpqp/internal/mbox"
+)
+
+// Middlebox is a sharded engine hosting many rate enforcers (one per
+// traffic aggregate) concurrently — the deployment shape of a production
+// rate-limiting middlebox. Aggregates are hashed across single-goroutine
+// shards so enforcers stay lock-free on the datapath; a full shard sheds
+// packets rather than blocking.
+type Middlebox = mbox.Engine
+
+// MiddleboxConfig configures NewMiddlebox.
+type MiddleboxConfig = mbox.Config
+
+// EmitFunc receives packets an aggregate's enforcer transmitted. It runs on
+// a shard goroutine: it must not block and must not call back into the
+// Middlebox.
+type EmitFunc = mbox.Emit
+
+// NewMiddlebox starts a middlebox engine.
+func NewMiddlebox(cfg MiddleboxConfig) *Middlebox { return mbox.New(cfg) }
+
+// StatsReader is implemented by every enforcer in this module.
+type StatsReader = enforcer.StatsReader
+
+// CascadeStage is an enforcer supporting two-phase (probe/commit)
+// admission; PQP/BC-PQP and token-bucket policers implement it.
+type CascadeStage = cascade.Stage
+
+// Cascade enforces hierarchical rate limits: a packet passes only if every
+// level admits it, and no level's accounting is charged for packets another
+// level drops.
+type Cascade = cascade.Cascade
+
+// NewCascade builds a multi-level rate limit, outermost (e.g. subscriber)
+// stage first.
+func NewCascade(stages ...CascadeStage) (*Cascade, error) {
+	return cascade.New(stages...)
+}

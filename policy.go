@@ -1,0 +1,39 @@
+package bcpqp
+
+import (
+	"bcpqp/internal/sched"
+)
+
+// Policy is a validated rate-sharing policy tree over traffic classes.
+// Policies express how an aggregate's rate divides among its queues:
+// per-flow fairness, weighted fairness, strict prioritization, or nested
+// combinations of these (§3.2 of the paper).
+type Policy = sched.Policy
+
+// PolicyNode is one vertex of a policy tree under construction.
+type PolicyNode = sched.Node
+
+// Fair returns a per-flow fairness policy over n classes.
+func Fair(n int) *Policy { return sched.Fair(n) }
+
+// WeightedFair returns a weighted-fair policy; class i gets weight ws[i].
+func WeightedFair(ws ...float64) *Policy { return sched.WeightedFair(ws...) }
+
+// StrictPriority returns a strict-priority policy; class 0 is highest.
+func StrictPriority(n int) *Policy { return sched.StrictPriority(n) }
+
+// Leaf returns a terminal policy node bound to a traffic class.
+func Leaf(class int) *PolicyNode { return sched.Leaf(class) }
+
+// Weighted returns a node whose children share the parent rate by weight
+// (set child weights with PolicyNode.WithWeight).
+func Weighted(children ...*PolicyNode) *PolicyNode { return sched.Weighted(children...) }
+
+// Priority returns a node serving its children in strict order.
+func Priority(children ...*PolicyNode) *PolicyNode { return sched.Priority(children...) }
+
+// NewPolicy validates a hand-built policy tree.
+func NewPolicy(root *PolicyNode) (*Policy, error) { return sched.New(root) }
+
+// MustNewPolicy is NewPolicy that panics on error, for static policies.
+func MustNewPolicy(root *PolicyNode) *Policy { return sched.MustNew(root) }

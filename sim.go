@@ -1,0 +1,81 @@
+package bcpqp
+
+import (
+	"time"
+
+	"bcpqp/internal/apps/video"
+	"bcpqp/internal/apps/web"
+	"bcpqp/internal/harness"
+	"bcpqp/internal/metrics"
+	"bcpqp/internal/rng"
+)
+
+// Simulation wires an enforcement point into a virtual-time network:
+// sender → enforcer → optional secondary bottleneck → propagation delay →
+// receiver, with TCP flows (Reno/Cubic/BBR/Vegas) attached on top. It
+// corresponds to the paper's three-machine testbed.
+type Simulation = harness.Harness
+
+// SimulationConfig configures one enforcement point for simulation.
+type SimulationConfig = harness.Config
+
+// Scheme selects the enforcement mechanism of a Simulation.
+type Scheme = harness.Scheme
+
+// Available schemes.
+const (
+	SchemeShaper       = harness.SchemeShaper
+	SchemeSingleShaper = harness.SchemeSingleShaper
+	SchemePolicer      = harness.SchemePolicer
+	SchemePolicerPlus  = harness.SchemePolicerPlus
+	SchemeFairPolicer  = harness.SchemeFairPolicer
+	SchemePQP          = harness.SchemePQP
+	SchemeBCPQP        = harness.SchemeBCPQP
+)
+
+// SimFlowSpec describes a TCP flow attached to a Simulation.
+type SimFlowSpec = harness.FlowSpec
+
+// NewSimulation builds a simulation around the configured scheme.
+func NewSimulation(cfg SimulationConfig) (*Simulation, error) {
+	return harness.New(cfg)
+}
+
+// ParseScheme maps a scheme name ("bc-pqp", "policer", "shaper", ...) to a
+// Scheme.
+func ParseScheme(name string) (Scheme, error) { return harness.ParseScheme(name) }
+
+// Meter accumulates receiver-side bytes into fixed windows for throughput
+// measurement (the paper meters 250 ms windows).
+type Meter = metrics.Meter
+
+// NewMeter returns a Meter; window 0 selects 250 ms.
+func NewMeter(window time.Duration) *Meter { return metrics.NewMeter(window) }
+
+// Jain computes Jain's fairness index over allocations.
+func Jain(xs []float64) float64 { return metrics.Jain(xs) }
+
+// VideoConfig configures an adaptive-bitrate streaming session over a
+// Simulation (the §6.4.1 application model).
+type VideoConfig = video.Config
+
+// VideoClient is a running ABR session.
+type VideoClient = video.Client
+
+// StartVideo attaches an ABR streaming session to a Simulation.
+func StartVideo(cfg VideoConfig) (*VideoClient, error) { return video.Start(cfg) }
+
+// WebConfig configures a sequential page-load session (the §6.4.2 model).
+type WebConfig = web.Config
+
+// WebSession is a running page-load session.
+type WebSession = web.Session
+
+// StartWeb attaches a page-load session to a Simulation.
+func StartWeb(cfg WebConfig) (*WebSession, error) { return web.Start(cfg) }
+
+// RandSource is the deterministic random stream used by workload models.
+type RandSource = rng.Source
+
+// NewRand returns a deterministic random source for workload generation.
+func NewRand(seed uint64) *RandSource { return rng.New(seed) }
