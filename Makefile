@@ -1,0 +1,33 @@
+GO ?= go
+
+.PHONY: all build test vet race fuzz-smoke bench verify
+
+all: verify
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Ten-second smoke run of every fuzz target (seed corpus + a short burst of
+# generated inputs); full fuzzing sessions run the targets individually.
+fuzz-smoke:
+	@for pkg in $$($(GO) list ./...); do \
+		for f in $$($(GO) test -list '^Fuzz' $$pkg 2>/dev/null | grep '^Fuzz'); do \
+			echo "fuzz $$pkg $$f"; \
+			$(GO) test -run '^$$' -fuzz "^$$f$$" -fuzztime 10s $$pkg || exit 1; \
+		done; \
+	done
+
+bench:
+	$(GO) test -bench . -benchmem -run '^$$' ./...
+
+# The gate CI runs: build + vet + race-enabled tests + fuzz smoke.
+verify: build vet race fuzz-smoke

@@ -66,10 +66,15 @@ type (
 
 // Verdicts.
 const (
-	Transmit = enforcer.Transmit
-	Drop     = enforcer.Drop
-	Queued   = enforcer.Queued
+	Transmit   = enforcer.Transmit
+	Drop       = enforcer.Drop
+	Queued     = enforcer.Queued
+	TransmitCE = enforcer.TransmitCE
 )
+
+// DefaultBurst is the burst size the batch datapath is tuned for (the
+// rx_burst size of a DPDK-style middlebox).
+const DefaultBurst = enforcer.DefaultBurst
 
 // NoClass marks packets classified by flow-key hash.
 const NoClass = packet.NoClass

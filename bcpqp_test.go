@@ -159,11 +159,30 @@ func TestMiddleboxFacade(t *testing.T) {
 		t.Fatal(err)
 	}
 	delivered := 0
-	if err := eng.Add("sub-1", enf, func(p Packet) { delivered += p.Size }); err != nil {
+	h, err := eng.Add("sub-1", enf, func(p Packet) { delivered += p.Size })
+	if err != nil {
 		t.Fatal(err)
 	}
-	for i := 0; i < 10; i++ {
-		if err := eng.Submit("sub-1", Packet{
+	if h == NoAggregate {
+		t.Fatal("Add returned no handle")
+	}
+	// Single-packet handle path, burst path, and the string compat shim.
+	for i := 0; i < 4; i++ {
+		if err := eng.Submit(h, Packet{
+			Key: FlowKey{SrcIP: 1, SrcPort: uint16(i), Proto: 6}, Size: MSS, Class: i % 4,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	burst := make([]Packet, 4)
+	for i := range burst {
+		burst[i] = Packet{Key: FlowKey{SrcIP: 1, SrcPort: uint16(4 + i), Proto: 6}, Size: MSS, Class: i % 4}
+	}
+	if err := eng.SubmitBatch(h, burst); err != nil {
+		t.Fatal(err)
+	}
+	for i := 8; i < 10; i++ {
+		if err := eng.SubmitID("sub-1", Packet{
 			Key: FlowKey{SrcIP: 1, SrcPort: uint16(i), Proto: 6}, Size: MSS, Class: i % 4,
 		}); err != nil {
 			t.Fatal(err)

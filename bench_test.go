@@ -41,6 +41,34 @@ func BenchmarkEnforcers(b *testing.B) {
 	}
 }
 
+// BenchmarkEnforcersBatch is the burst-oriented counterpart of
+// BenchmarkEnforcers: the same workload submitted through each scheme's
+// SubmitBatch path in bursts of DefaultBurst. One benchmark iteration is
+// one packet, so ns/op compares directly with BenchmarkEnforcers; the
+// deltas show how much per-packet cost each scheme amortizes across a
+// burst (token refills, lazy drains, burst-control window checks).
+func BenchmarkEnforcersBatch(b *testing.B) {
+	for _, scheme := range harness.AllSchemes() {
+		scheme := scheme
+		b.Run(scheme.String(), func(b *testing.B) {
+			rig := experiments.NewEfficiencyRig(scheme)
+			// Warm up into steady state.
+			for i := 0; i < 100_000; i += DefaultBurst {
+				rig.SubmitBurst(i, DefaultBurst)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i += DefaultBurst {
+				n := b.N - i
+				if n > DefaultBurst {
+					n = DefaultBurst
+				}
+				rig.SubmitBurst(i, n)
+			}
+		})
+	}
+}
+
 // BenchmarkPhantomPolicies is the ablation for DESIGN.md's policy-engine
 // choice: per-packet cost of BC-PQP under increasingly rich rate-sharing
 // policies (flat fair fast path vs generic hierarchical GPS).
@@ -153,32 +181,43 @@ func BenchmarkSimulation(b *testing.B) {
 	}
 }
 
-// BenchmarkMiddlebox measures the sharded engine's cross-aggregate submit
-// throughput with BC-PQP enforcers — the "thousands of subscribers on one
-// box" number.
-func BenchmarkMiddlebox(b *testing.B) {
+// benchEngine builds a middlebox with aggs BC-PQP aggregates on a virtual
+// clock, returning the engine and the aggregate handles.
+func benchEngine(b *testing.B, aggs int) (*Middlebox, []AggregateHandle) {
+	b.Helper()
+	var ticks atomic.Int64
+	eng := NewMiddlebox(MiddleboxConfig{
+		QueueDepth: 1 << 14,
+		Clock: func() time.Duration {
+			return time.Duration(ticks.Add(1)) * 10 * time.Microsecond
+		},
+	})
+	handles := make([]AggregateHandle, aggs)
+	for i := range handles {
+		enf, err := NewBCPQP(BCPQPConfig{Rate: 20 * Mbps, Queues: 16})
+		if err != nil {
+			b.Fatal(err)
+		}
+		h, err := eng.Add(fmt.Sprintf("agg-%d", i), enf, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		handles[i] = h
+	}
+	return eng, handles
+}
+
+// BenchmarkMiddleboxSubmit measures the per-packet ingress path of the
+// sharded engine with BC-PQP enforcers — the "thousands of subscribers on
+// one box" number, one packet per call. This is the baseline the burst
+// path in BenchmarkMiddleboxSubmitBatch is compared against on the same
+// workload.
+func BenchmarkMiddleboxSubmit(b *testing.B) {
 	for _, aggs := range []int{16, 256} {
 		aggs := aggs
 		b.Run(fmt.Sprintf("aggregates=%d", aggs), func(b *testing.B) {
-			var ticks atomic.Int64
-			eng := NewMiddlebox(MiddleboxConfig{
-				QueueDepth: 1 << 14,
-				Clock: func() time.Duration {
-					return time.Duration(ticks.Add(1)) * 10 * time.Microsecond
-				},
-			})
+			eng, handles := benchEngine(b, aggs)
 			defer eng.Close()
-			ids := make([]string, aggs)
-			for i := range ids {
-				ids[i] = fmt.Sprintf("agg-%d", i)
-				enf, err := NewBCPQP(BCPQPConfig{Rate: 20 * Mbps, Queues: 16})
-				if err != nil {
-					b.Fatal(err)
-				}
-				if err := eng.Add(ids[i], enf, nil); err != nil {
-					b.Fatal(err)
-				}
-			}
 			pkt := Packet{Key: FlowKey{SrcIP: 1, Proto: 6}, Size: MSS}
 			b.ReportAllocs()
 			b.ResetTimer()
@@ -186,10 +225,77 @@ func BenchmarkMiddlebox(b *testing.B) {
 				i := 0
 				for pb.Next() {
 					pkt.Class = i & 15
-					eng.Submit(ids[i%aggs], pkt)
+					eng.Submit(handles[i%aggs], pkt)
 					i++
 				}
 			})
+			b.StopTimer()
+			pps := float64(b.N) / b.Elapsed().Seconds()
+			b.ReportMetric(pps, "pkts/sec")
+		})
+	}
+}
+
+// BenchmarkMiddleboxSubmitID measures the deprecated string-keyed
+// compatibility shim: the per-packet map lookup the handle API removes.
+func BenchmarkMiddleboxSubmitID(b *testing.B) {
+	const aggs = 256
+	eng, _ := benchEngine(b, aggs)
+	defer eng.Close()
+	ids := make([]string, aggs)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("agg-%d", i)
+	}
+	pkt := Packet{Key: FlowKey{SrcIP: 1, Proto: 6}, Size: MSS}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			pkt.Class = i & 15
+			eng.SubmitID(ids[i%aggs], pkt)
+			i++
+		}
+	})
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "pkts/sec")
+}
+
+// BenchmarkMiddleboxSubmitBatch measures the burst ingress path: one
+// SubmitBatch of DefaultBurst packets per engine call, the rx_burst shape
+// of a DPDK middlebox. One benchmark iteration is one PACKET (bursts are
+// submitted every DefaultBurst iterations), so ns/op and pkts/sec compare
+// directly against BenchmarkMiddleboxSubmit.
+func BenchmarkMiddleboxSubmitBatch(b *testing.B) {
+	for _, aggs := range []int{16, 256} {
+		aggs := aggs
+		b.Run(fmt.Sprintf("aggregates=%d", aggs), func(b *testing.B) {
+			eng, handles := benchEngine(b, aggs)
+			defer eng.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				var burst [DefaultBurst]Packet
+				for i := range burst {
+					burst[i] = Packet{Key: FlowKey{SrcIP: 1, Proto: 6}, Size: MSS, Class: i & 15}
+				}
+				i, fill := 0, 0
+				for pb.Next() {
+					// One iteration = one packet; flush the burst
+					// every DefaultBurst packets.
+					if fill++; fill == len(burst) {
+						fill = 0
+						eng.SubmitBatch(handles[i%aggs], burst[:])
+						i++
+					}
+				}
+				if fill > 0 {
+					eng.SubmitBatch(handles[i%aggs], burst[:fill])
+				}
+			})
+			b.StopTimer()
+			pps := float64(b.N) / b.Elapsed().Seconds()
+			b.ReportMetric(pps, "pkts/sec")
 		})
 	}
 }

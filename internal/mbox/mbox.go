@@ -2,21 +2,32 @@
 // enforcers (one per traffic aggregate) concurrently — the deployment shape
 // of the paper's middlebox, which polices thousands of subscribers at once.
 //
+// The datapath is burst-oriented and handle-based, the way a DPDK middlebox
+// receives traffic: packets arrive in bursts (rx_burst ≈ 32), aggregates
+// are identified by small integer handles resolved once at Add time, and
+// the engine's hot path is a lock-free read of an atomically swapped
+// copy-on-write registry snapshot — no mutex, no map lookup, no hashing,
+// no allocation per packet.
+//
 // Aggregates are hashed across shards; each shard owns its aggregates
-// exclusively and processes packets on a single goroutine, so enforcers
+// exclusively and processes bursts on a single goroutine, so enforcers
 // never need locks on the datapath (the same shared-nothing sharding a
-// DPDK middlebox gets from RSS queues). Packets are handed to shards
-// through bounded rings: when a shard falls behind, excess packets are
-// dropped and counted as overload — a middlebox must shed load, not
+// DPDK middlebox gets from RSS queues). Single-packet Submits are coalesced
+// into per-shard pending bursts flushed on a size-or-deadline trigger;
+// SubmitBatch hands a whole burst to the shard in one ring operation. Each
+// shard ring slot carries a burst: when a shard falls behind, excess bursts
+// are shed and counted as overload — a middlebox must shed load, not
 // buffer unboundedly.
 //
-// Control operations (add/remove/stats) are serialized through the same
-// shard goroutines, so they are safe during full-rate traffic.
+// Control operations (stats/flush) are serialized through the same shard
+// goroutines, so they are safe during full-rate traffic; under saturation
+// they fail over to a dedicated control lane so a wedged shard ring cannot
+// stall the control plane behind data traffic.
 package mbox
 
 import (
+	"errors"
 	"fmt"
-	"hash/fnv"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -32,19 +43,53 @@ import (
 // Engine (doing so can deadlock against a concurrent Close).
 type Emit func(pkt packet.Packet)
 
+// Handle identifies a registered aggregate on the datapath. Handles are
+// resolved once at Add time and are valid until the aggregate is removed;
+// they are never reused within one Engine, so a stale handle can never
+// alias a different aggregate.
+type Handle int32
+
+// NoHandle is the invalid handle returned alongside errors.
+const NoHandle Handle = -1
+
+// ErrNoStats reports that an aggregate's enforcer does not implement
+// enforcer.StatsReader. Test with errors.Is.
+var ErrNoStats = errors.New("enforcer exposes no stats")
+
+// ErrSaturated reports that a control operation could not reach its shard
+// within ControlTimeout on either the ordered data ring or the priority
+// control lane. Test with errors.Is.
+var ErrSaturated = errors.New("shard saturated")
+
 // Config configures an Engine.
 type Config struct {
 	// Shards is the number of shard goroutines (default GOMAXPROCS).
 	Shards int
-	// QueueDepth is each shard's ingress ring capacity (default 1024).
+	// QueueDepth is each shard's ingress ring capacity in BURSTS
+	// (default 1024). With the default FlushBurst of 32 a full ring
+	// therefore holds up to 32× as many packets.
 	QueueDepth int
-	// Clock supplies the virtual time passed to enforcers. The default
-	// is wall time since engine start. Tests inject deterministic
-	// clocks.
+	// FlushBurst is the target burst size: single-packet Submits are
+	// coalesced per shard until the pending burst reaches this size
+	// (default 32). 1 disables coalescing — every Submit enqueues
+	// immediately.
+	FlushBurst int
+	// FlushInterval is the deadline trigger: a partially filled pending
+	// burst is flushed at least this often by a background flusher, so a
+	// trickle of traffic is never stranded in staging (default 500µs).
+	FlushInterval time.Duration
+	// ControlTimeout bounds how long a control operation (Stats/Flush)
+	// waits for space on the ordered data ring before failing over to
+	// the shard's priority control lane, and then how long it waits for
+	// the lane itself (default 10ms).
+	ControlTimeout time.Duration
+	// Clock supplies the virtual time passed to enforcers; it is read
+	// once per burst, not once per packet. The default is wall time
+	// since engine start. Tests inject deterministic clocks.
 	Clock func() time.Duration
 }
 
-// Engine hosts many enforcers behind a concurrent submit API.
+// Engine hosts many enforcers behind a concurrent burst-submit API.
 type Engine struct {
 	cfg    Config
 	shards []*shard
@@ -52,33 +97,62 @@ type Engine struct {
 	// Overloaded counts packets shed because a shard ring was full.
 	Overloaded atomic.Int64
 
-	mu     sync.RWMutex
-	index  map[string]*aggregate // id -> aggregate (shard-owned state inside)
-	closed bool
-	wg     sync.WaitGroup
+	// table is the copy-on-write registry snapshot the datapath reads
+	// lock-free. Writers (Add/Remove/Close) serialize on mu and publish
+	// whole new snapshots.
+	table atomic.Pointer[registry]
+	mu    sync.Mutex
+
+	pool      sync.Pool // *burst
+	flushStop chan struct{}
+	dead      chan struct{} // closed once every shard goroutine exited
+	wg        sync.WaitGroup
 }
 
-// aggregate pairs an enforcer with its emit hook.
+// registry is one immutable snapshot of the aggregate table.
+type registry struct {
+	closed bool
+	slots  []*aggregate      // indexed by Handle; nil = removed
+	byID   map[string]Handle // compatibility shim for string-keyed lookup
+}
+
+// aggregate pairs an enforcer with its emit hook and owning shard.
 type aggregate struct {
 	id    string
+	h     Handle
 	enf   enforcer.Enforcer
 	emit  Emit
 	shard *shard
 }
 
+// burst is one ring slot of work: either a single-aggregate burst (agg set,
+// from SubmitBatch) or a mixed coalesced burst (aggs parallel to pkts, from
+// staged single-packet Submits). Bursts are pooled; the engine owns them.
+type burst struct {
+	pkts []packet.Packet
+	aggs []*aggregate
+	agg  *aggregate
+}
+
 // item is one unit of shard work.
 type item struct {
-	agg *aggregate
-	pkt packet.Packet
+	b *burst
 
-	// Control messages (exactly one non-nil field).
+	// Control messages.
 	control func()
 	done    chan struct{}
+	stop    bool
 }
 
 // shard is one single-goroutine execution domain.
 type shard struct {
-	in chan item
+	in   chan item // ordered data ring (bursts + in-band control)
+	ctrl chan item // priority control lane used when in is saturated
+
+	mu     sync.Mutex
+	staged *burst // pending coalesced burst, nil when empty
+
+	verdicts []enforcer.Verdict // consumer-side scratch, shard-owned
 }
 
 // New starts an Engine.
@@ -89,150 +163,377 @@ func New(cfg Config) *Engine {
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = 1024
 	}
+	if cfg.FlushBurst <= 0 {
+		cfg.FlushBurst = enforcer.DefaultBurst
+	}
+	if cfg.FlushInterval <= 0 {
+		cfg.FlushInterval = 500 * time.Microsecond
+	}
+	if cfg.ControlTimeout <= 0 {
+		cfg.ControlTimeout = 10 * time.Millisecond
+	}
 	if cfg.Clock == nil {
 		start := time.Now()
 		cfg.Clock = func() time.Duration { return time.Since(start) }
 	}
 	e := &Engine{
-		cfg:   cfg,
-		index: make(map[string]*aggregate),
+		cfg:       cfg,
+		flushStop: make(chan struct{}),
+		dead:      make(chan struct{}),
 	}
+	e.pool.New = func() any {
+		return &burst{
+			pkts: make([]packet.Packet, 0, cfg.FlushBurst),
+			aggs: make([]*aggregate, 0, cfg.FlushBurst),
+		}
+	}
+	e.table.Store(&registry{byID: make(map[string]Handle)})
 	for i := 0; i < cfg.Shards; i++ {
-		s := &shard{in: make(chan item, cfg.QueueDepth)}
+		s := &shard{
+			in:       make(chan item, cfg.QueueDepth),
+			ctrl:     make(chan item, 16),
+			verdicts: make([]enforcer.Verdict, cfg.FlushBurst),
+		}
 		e.shards = append(e.shards, s)
 		e.wg.Add(1)
 		go e.run(s)
 	}
+	go e.flusher()
 	return e
 }
 
-// run is a shard's event loop.
+// run is a shard's event loop. The control lane is drained with equal
+// priority; it only carries traffic when the data ring is saturated, which
+// is exactly when jumping the queue is the point.
 func (e *Engine) run(s *shard) {
 	defer e.wg.Done()
-	for it := range s.in {
-		if it.control != nil {
-			it.control()
-			if it.done != nil {
-				close(it.done)
+	for {
+		select {
+		case it := <-s.in:
+			if e.process(s, it) {
+				return
 			}
-			continue
-		}
-		switch it.agg.enf.Submit(e.cfg.Clock(), it.pkt) {
-		case enforcer.Transmit:
-			if it.agg.emit != nil {
-				it.agg.emit(it.pkt)
-			}
-		case enforcer.TransmitCE:
-			if it.agg.emit != nil {
-				it.pkt.CE = true
-				it.agg.emit(it.pkt)
+		case it := <-s.ctrl:
+			if e.process(s, it) {
+				return
 			}
 		}
 	}
 }
 
-// shardFor hashes an aggregate ID onto a shard.
-func (e *Engine) shardFor(id string) *shard {
-	h := fnv.New32a()
-	h.Write([]byte(id))
-	return e.shards[int(h.Sum32())%len(e.shards)]
+// process executes one item on the shard goroutine; true means stop.
+func (e *Engine) process(s *shard, it item) bool {
+	if it.stop {
+		return true
+	}
+	if it.control != nil {
+		it.control()
+		if it.done != nil {
+			close(it.done)
+		}
+		return false
+	}
+	b := it.b
+	// One clock read per burst (vs per packet): every packet in the burst
+	// is enforced at the same virtual arrival time, the granularity a
+	// burst-polling middlebox actually observes.
+	now := e.cfg.Clock()
+	if b.agg != nil {
+		e.runBatch(s, now, b.agg, b.pkts)
+	} else {
+		// Mixed coalesced burst: group consecutive same-aggregate runs
+		// so each run goes through the enforcer's native batch path.
+		for i := 0; i < len(b.pkts); {
+			j := i + 1
+			for j < len(b.pkts) && b.aggs[j] == b.aggs[i] {
+				j++
+			}
+			e.runBatch(s, now, b.aggs[i], b.pkts[i:j])
+			i = j
+		}
+	}
+	e.putBurst(b)
+	return false
 }
 
-// Add registers an enforcer for aggregate id. The engine takes exclusive
-// ownership of the enforcer: callers must not touch it afterwards (it runs
-// on a shard goroutine). emit receives transmitted packets and may be nil.
-func (e *Engine) Add(id string, enf enforcer.Enforcer, emit Emit) error {
+// runBatch pushes one single-aggregate run through the enforcer's batch
+// path (native when implemented, fallback loop otherwise) and emits the
+// transmitted packets.
+func (e *Engine) runBatch(s *shard, now time.Duration, agg *aggregate, pkts []packet.Packet) {
+	if cap(s.verdicts) < len(pkts) {
+		s.verdicts = make([]enforcer.Verdict, len(pkts))
+	}
+	v := s.verdicts[:len(pkts)]
+	enforcer.SubmitBatch(agg.enf, now, pkts, v)
+	if agg.emit == nil {
+		return
+	}
+	for i, verdict := range v {
+		switch verdict {
+		case enforcer.Transmit:
+			agg.emit(pkts[i])
+		case enforcer.TransmitCE:
+			pkts[i].CE = true
+			agg.emit(pkts[i])
+		}
+	}
+}
+
+// flusher is the deadline trigger: it flushes every shard's pending
+// coalesced burst at least once per FlushInterval so low-rate traffic is
+// never stranded behind the size trigger.
+func (e *Engine) flusher() {
+	t := time.NewTicker(e.cfg.FlushInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-e.flushStop:
+			return
+		case <-t.C:
+			for _, s := range e.shards {
+				e.flushStaged(s)
+			}
+		}
+	}
+}
+
+// flushStaged enqueues a shard's pending coalesced burst, if any. The
+// enqueue happens under the staging lock so a producer that fills a fresh
+// burst immediately afterwards cannot overtake the flushed one (per-
+// producer FIFO is preserved).
+func (e *Engine) flushStaged(s *shard) {
+	s.mu.Lock()
+	if b := s.staged; b != nil {
+		s.staged = nil
+		e.enqueue(s, b)
+	}
+	s.mu.Unlock()
+}
+
+// enqueue offers a burst to the shard ring without blocking: a full ring
+// sheds the whole burst and counts it as overload.
+func (e *Engine) enqueue(s *shard, b *burst) {
+	select {
+	case s.in <- item{b: b}:
+	default:
+		e.Overloaded.Add(int64(len(b.pkts)))
+		e.putBurst(b)
+	}
+}
+
+// getBurst takes a reset burst from the pool.
+func (e *Engine) getBurst() *burst {
+	return e.pool.Get().(*burst)
+}
+
+// putBurst clears a burst (dropping payload and aggregate references so
+// the pool does not pin memory) and returns it to the pool.
+func (e *Engine) putBurst(b *burst) {
+	clear(b.pkts)
+	clear(b.aggs)
+	b.pkts = b.pkts[:0]
+	b.aggs = b.aggs[:0]
+	b.agg = nil
+	e.pool.Put(b)
+}
+
+// shardFor hashes an aggregate ID onto a shard with an inline FNV-1a loop
+// (no hasher allocation: the control path is allocation-free too).
+func (e *Engine) shardFor(id string) *shard {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(id); i++ {
+		h ^= uint32(id[i])
+		h *= prime32
+	}
+	return e.shards[int(h)%len(e.shards)]
+}
+
+// Add registers an enforcer for aggregate id and returns its datapath
+// handle. The engine takes exclusive ownership of the enforcer: callers
+// must not touch it afterwards (it runs on a shard goroutine). emit
+// receives transmitted packets and may be nil.
+func (e *Engine) Add(id string, enf enforcer.Enforcer, emit Emit) (Handle, error) {
 	if enf == nil {
-		return fmt.Errorf("mbox: nil enforcer for %q", id)
+		return NoHandle, fmt.Errorf("mbox: nil enforcer for %q", id)
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if e.closed {
-		return fmt.Errorf("mbox: engine closed")
+	t := e.table.Load()
+	if t.closed {
+		return NoHandle, fmt.Errorf("mbox: engine closed")
 	}
-	if _, dup := e.index[id]; dup {
-		return fmt.Errorf("mbox: aggregate %q already registered", id)
+	if _, dup := t.byID[id]; dup {
+		return NoHandle, fmt.Errorf("mbox: aggregate %q already registered", id)
 	}
-	e.index[id] = &aggregate{id: id, enf: enf, emit: emit, shard: e.shardFor(id)}
-	return nil
+	h := Handle(len(t.slots))
+	agg := &aggregate{id: id, h: h, enf: enf, emit: emit, shard: e.shardFor(id)}
+	nt := &registry{
+		slots: append(append(make([]*aggregate, 0, len(t.slots)+1), t.slots...), agg),
+		byID:  make(map[string]Handle, len(t.byID)+1),
+	}
+	for k, v := range t.byID {
+		nt.byID[k] = v
+	}
+	nt.byID[id] = h
+	e.table.Store(nt)
+	return h, nil
 }
 
 // Remove unregisters an aggregate. In-flight packets already queued to the
 // shard are still processed (the aggregate's state stays valid until they
-// drain).
+// drain); the aggregate's handle becomes invalid for new submissions and is
+// never reused.
 func (e *Engine) Remove(id string) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if _, ok := e.index[id]; !ok {
+	t := e.table.Load()
+	h, ok := t.byID[id]
+	if !ok {
 		return fmt.Errorf("mbox: unknown aggregate %q", id)
 	}
-	delete(e.index, id)
+	nt := &registry{
+		closed: t.closed,
+		slots:  append(make([]*aggregate, 0, len(t.slots)), t.slots...),
+		byID:   make(map[string]Handle, len(t.byID)),
+	}
+	for k, v := range t.byID {
+		if k != id {
+			nt.byID[k] = v
+		}
+	}
+	nt.slots[h] = nil
+	e.table.Store(nt)
 	return nil
+}
+
+// Lookup resolves an aggregate ID to its datapath handle.
+func (e *Engine) Lookup(id string) (Handle, error) {
+	t := e.table.Load()
+	h, ok := t.byID[id]
+	if !ok {
+		return NoHandle, fmt.Errorf("mbox: unknown aggregate %q", id)
+	}
+	return h, nil
 }
 
 // Len returns the number of registered aggregates.
 func (e *Engine) Len() int {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	return len(e.index)
+	return len(e.table.Load().byID)
 }
 
-// Submit hands a packet to aggregate id. It never blocks: when the owning
-// shard's ring is full the packet is shed and counted in Overloaded.
-// Unknown aggregates report an error (misrouted traffic should be visible).
-func (e *Engine) Submit(id string, pkt packet.Packet) error {
-	// The read lock is held across the ring send so Close (which takes
-	// the write lock before closing the rings) cannot race a send onto
-	// a closed channel.
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	if e.closed {
+// resolve is the datapath handle check: a lock-free snapshot read plus a
+// bounds/liveness check.
+func (e *Engine) resolve(h Handle) (*aggregate, error) {
+	t := e.table.Load()
+	if t.closed {
+		return nil, fmt.Errorf("mbox: engine closed")
+	}
+	if h < 0 || int(h) >= len(t.slots) {
+		return nil, fmt.Errorf("mbox: invalid handle %d", h)
+	}
+	agg := t.slots[h]
+	if agg == nil {
+		return nil, fmt.Errorf("mbox: handle %d: aggregate removed", h)
+	}
+	return agg, nil
+}
+
+// Submit hands one packet to the aggregate behind h. It never blocks: the
+// packet joins the owning shard's pending burst (flushed on the size or
+// deadline trigger), and when the shard ring is full the burst is shed and
+// counted in Overloaded. Invalid handles report an error (misrouted
+// traffic should be visible).
+func (e *Engine) Submit(h Handle, pkt packet.Packet) error {
+	agg, err := e.resolve(h)
+	if err != nil {
+		return err
+	}
+	s := agg.shard
+	s.mu.Lock()
+	b := s.staged
+	if b == nil {
+		b = e.getBurst()
+		s.staged = b
+	}
+	b.pkts = append(b.pkts, pkt)
+	b.aggs = append(b.aggs, agg)
+	if len(b.pkts) >= e.cfg.FlushBurst {
+		s.staged = nil
+		e.enqueue(s, b)
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+// SubmitBatch hands a whole burst for one aggregate to its shard in a
+// single ring operation — the engine's preferred ingress path. The packets
+// are copied into an engine-owned pooled buffer, so the caller may reuse
+// pkts immediately; steady-state burst submission performs no allocation.
+// Any pending coalesced single-packet burst for the shard is flushed first
+// so per-producer FIFO order holds across both APIs.
+func (e *Engine) SubmitBatch(h Handle, pkts []packet.Packet) error {
+	agg, err := e.resolve(h)
+	if err != nil {
+		return err
+	}
+	if len(pkts) == 0 {
+		return nil
+	}
+	b := e.getBurst()
+	b.agg = agg
+	b.pkts = append(b.pkts, pkts...)
+	s := agg.shard
+	s.mu.Lock()
+	if st := s.staged; st != nil {
+		s.staged = nil
+		e.enqueue(s, st)
+	}
+	e.enqueue(s, b)
+	s.mu.Unlock()
+	return nil
+}
+
+// SubmitID is the string-keyed compatibility shim for callers that have
+// not resolved a handle: one map lookup against the same lock-free
+// registry snapshot, then the Submit path.
+//
+// Deprecated: resolve a Handle once at Add/Lookup time and use Submit or
+// SubmitBatch; per-packet string lookups are exactly the overhead the
+// burst datapath removes.
+func (e *Engine) SubmitID(id string, pkt packet.Packet) error {
+	t := e.table.Load()
+	if t.closed {
 		return fmt.Errorf("mbox: engine closed")
 	}
-	agg, ok := e.index[id]
+	h, ok := t.byID[id]
 	if !ok {
 		return fmt.Errorf("mbox: unknown aggregate %q", id)
 	}
-	select {
-	case agg.shard.in <- item{agg: agg, pkt: pkt}:
-		return nil
-	default:
-		e.Overloaded.Add(1)
-		return nil
-	}
+	return e.Submit(h, pkt)
 }
 
 // Stats reads an aggregate's enforcement statistics. The read executes on
-// the owning shard goroutine, so it is safe during traffic.
+// the owning shard goroutine, so it is safe during traffic. An enforcer
+// that does not implement enforcer.StatsReader reports ErrNoStats instead
+// of silently returning zeros.
 func (e *Engine) Stats(id string) (enforcer.Stats, error) {
 	var out enforcer.Stats
+	var statErr error
 	err := e.control(id, func(enf enforcer.Enforcer) {
 		if sr, ok := enf.(enforcer.StatsReader); ok {
 			out = sr.EnforcerStats()
+		} else {
+			statErr = fmt.Errorf("mbox: aggregate %q: %w", id, ErrNoStats)
 		}
 	})
-	return out, err
-}
-
-// control runs fn on the aggregate's shard goroutine and waits for it. The
-// read lock is held only for the enqueue; waiting happens unlocked so shard
-// emit callbacks can run freely.
-func (e *Engine) control(id string, fn func(enforcer.Enforcer)) error {
-	e.mu.RLock()
-	if e.closed {
-		e.mu.RUnlock()
-		return fmt.Errorf("mbox: engine closed")
+	if err != nil {
+		return out, err
 	}
-	agg, ok := e.index[id]
-	if !ok {
-		e.mu.RUnlock()
-		return fmt.Errorf("mbox: unknown aggregate %q", id)
-	}
-	done := make(chan struct{})
-	agg.shard.in <- item{control: func() { fn(agg.enf) }, done: done}
-	e.mu.RUnlock()
-	<-done
-	return nil
+	return out, statErr
 }
 
 // Flush runs fn for aggregate id on its shard goroutine — the hook for
@@ -241,18 +542,85 @@ func (e *Engine) Flush(id string, fn func(enf enforcer.Enforcer)) error {
 	return e.control(id, fn)
 }
 
+// control runs fn on the aggregate's shard goroutine and waits for it.
+//
+// The shard's pending coalesced burst is flushed first and the control
+// item rides the ordered data ring, so fn observes every packet submitted
+// before the call. When the data ring stays full past ControlTimeout
+// (a saturated or wedged shard), the item fails over to the shard's
+// dedicated control lane — jumping ahead of queued data is the price of
+// not letting data traffic stall the control plane; if even the lane is
+// full past the timeout, ErrSaturated is reported.
+func (e *Engine) control(id string, fn func(enforcer.Enforcer)) error {
+	t := e.table.Load()
+	if t.closed {
+		return fmt.Errorf("mbox: engine closed")
+	}
+	h, ok := t.byID[id]
+	if !ok {
+		return fmt.Errorf("mbox: unknown aggregate %q", id)
+	}
+	agg := t.slots[h]
+	if agg == nil {
+		return fmt.Errorf("mbox: unknown aggregate %q", id)
+	}
+	s := agg.shard
+	e.flushStaged(s)
+	done := make(chan struct{})
+	it := item{control: func() { fn(agg.enf) }, done: done}
+
+	timer := time.NewTimer(e.cfg.ControlTimeout)
+	select {
+	case s.in <- it:
+		timer.Stop()
+	case <-timer.C:
+		// Ordered ring saturated: fail over to the priority lane.
+		timer.Reset(e.cfg.ControlTimeout)
+		select {
+		case s.ctrl <- it:
+			timer.Stop()
+		case <-timer.C:
+			return fmt.Errorf("mbox: aggregate %q: %w", id, ErrSaturated)
+		}
+	}
+	select {
+	case <-done:
+		return nil
+	case <-e.dead:
+		// The engine closed while the item was in flight; it may still
+		// have been processed during the drain.
+		select {
+		case <-done:
+			return nil
+		default:
+			return fmt.Errorf("mbox: engine closed")
+		}
+	}
+}
+
 // Close drains the shards and stops their goroutines. Submitting after
-// Close returns an error. Close is idempotent.
+// Close returns an error; packets from Submit calls racing Close may be
+// silently discarded. Close is idempotent.
 func (e *Engine) Close() {
 	e.mu.Lock()
-	if e.closed {
+	t := e.table.Load()
+	if t.closed {
 		e.mu.Unlock()
 		return
 	}
-	e.closed = true
-	e.mu.Unlock()
+	// Publish the closed snapshot: subsequent datapath and control calls
+	// fail fast without touching the shards.
+	e.table.Store(&registry{closed: true, byID: map[string]Handle{}})
+	close(e.flushStop)
+	// Flush staged bursts so everything accepted before Close is
+	// enforced, then stop each shard in-band (FIFO ⇒ full drain).
 	for _, s := range e.shards {
-		close(s.in)
+		e.flushStaged(s)
 	}
+	for _, s := range e.shards {
+		s.in <- item{stop: true}
+	}
+	e.mu.Unlock()
 	e.wg.Wait()
+	close(e.dead)
 }

@@ -1,6 +1,7 @@
 package mbox
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -15,7 +16,7 @@ import (
 )
 
 // fakeClock is a deterministic, concurrency-safe virtual clock that
-// advances a fixed step per reading.
+// advances a fixed step per reading. The engine reads it once per burst.
 type fakeClock struct {
 	step  time.Duration
 	ticks atomic.Int64
@@ -36,17 +37,24 @@ func pkt(flow int) packet.Packet {
 func TestAddRemove(t *testing.T) {
 	e := New(Config{Shards: 2})
 	defer e.Close()
-	if err := e.Add("a", tbf.MustNew(units.Mbps, 10*units.MSS), nil); err != nil {
+	h, err := e.Add("a", tbf.MustNew(units.Mbps, 10*units.MSS), nil)
+	if err != nil {
 		t.Fatal(err)
 	}
-	if err := e.Add("a", tbf.MustNew(units.Mbps, 10*units.MSS), nil); err == nil {
+	if h == NoHandle {
+		t.Fatal("Add returned NoHandle without error")
+	}
+	if _, err := e.Add("a", tbf.MustNew(units.Mbps, 10*units.MSS), nil); err == nil {
 		t.Error("duplicate id accepted")
 	}
-	if err := e.Add("b", nil, nil); err == nil {
+	if _, err := e.Add("b", nil, nil); err == nil {
 		t.Error("nil enforcer accepted")
 	}
 	if e.Len() != 1 {
 		t.Errorf("Len = %d", e.Len())
+	}
+	if got, err := e.Lookup("a"); err != nil || got != h {
+		t.Errorf("Lookup(a) = %v, %v; want %v", got, err, h)
 	}
 	if err := e.Remove("a"); err != nil {
 		t.Fatal(err)
@@ -54,8 +62,44 @@ func TestAddRemove(t *testing.T) {
 	if err := e.Remove("a"); err == nil {
 		t.Error("double remove accepted")
 	}
-	if err := e.Submit("a", pkt(0)); err == nil {
+	if err := e.Submit(h, pkt(0)); err == nil {
 		t.Error("submit to removed aggregate accepted")
+	}
+	if err := e.SubmitBatch(h, []packet.Packet{pkt(0)}); err == nil {
+		t.Error("batch submit to removed aggregate accepted")
+	}
+	if _, err := e.Lookup("a"); err == nil {
+		t.Error("lookup of removed aggregate succeeded")
+	}
+	if err := e.Submit(NoHandle, pkt(0)); err == nil {
+		t.Error("invalid handle accepted")
+	}
+	if err := e.Submit(Handle(99), pkt(0)); err == nil {
+		t.Error("out-of-range handle accepted")
+	}
+}
+
+// TestHandlesNotReused guards the ABA property: a stale handle must never
+// alias a different aggregate added later.
+func TestHandlesNotReused(t *testing.T) {
+	e := New(Config{Shards: 1})
+	defer e.Close()
+	h1, err := e.Add("first", tbf.MustNew(units.Mbps, 10*units.MSS), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Remove("first"); err != nil {
+		t.Fatal(err)
+	}
+	h2, err := e.Add("second", tbf.MustNew(units.Mbps, 10*units.MSS), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 == h2 {
+		t.Fatalf("handle %d reused for a different aggregate", h1)
+	}
+	if err := e.Submit(h1, pkt(0)); err == nil {
+		t.Error("stale handle still routes packets")
 	}
 }
 
@@ -65,10 +109,11 @@ func TestPerAggregateRateEnforcement(t *testing.T) {
 	defer e.Close()
 
 	// 8 aggregates, each with a BC-PQP at 8 Mbps. The virtual clock
-	// advances 100 µs per enforcer invocation across ALL aggregates, so
-	// the run spans a deterministic amount of virtual time.
+	// advances 100 µs per burst across ALL aggregates, so the run spans
+	// a deterministic amount of virtual time.
 	const aggs = 8
 	var emitted [aggs]atomic.Int64
+	handles := make([]Handle, aggs)
 	for i := 0; i < aggs; i++ {
 		i := i
 		enf := phantom.MustNew(phantom.Config{
@@ -77,23 +122,40 @@ func TestPerAggregateRateEnforcement(t *testing.T) {
 			QueueSize:    500 * units.MSS,
 			BurstControl: true,
 		})
-		if err := e.Add(fmt.Sprintf("agg-%d", i), enf, func(p packet.Packet) {
+		h, err := e.Add(fmt.Sprintf("agg-%d", i), enf, func(p packet.Packet) {
 			emitted[i].Add(int64(p.Size))
-		}); err != nil {
+		})
+		if err != nil {
 			t.Fatal(err)
 		}
+		handles[i] = h
 	}
 
-	// Offer far above the rate from several goroutines.
+	// Offer far above the rate from several goroutines, mixing the
+	// single-packet and burst ingress paths.
 	var wg sync.WaitGroup
 	const perSender = 20000
 	for s := 0; s < 4; s++ {
 		wg.Add(1)
 		go func(s int) {
 			defer wg.Done()
-			for i := 0; i < perSender; i++ {
-				id := fmt.Sprintf("agg-%d", (s*perSender+i)%aggs)
-				if err := e.Submit(id, pkt(i)); err != nil {
+			if s%2 == 0 {
+				for i := 0; i < perSender; i++ {
+					h := handles[(s*perSender+i)%aggs]
+					if err := e.Submit(h, pkt(i)); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+				return
+			}
+			var burst [32]packet.Packet
+			for i := 0; i < perSender; i += len(burst) {
+				for j := range burst {
+					burst[j] = pkt(i + j)
+				}
+				h := handles[(s*perSender+i)%aggs]
+				if err := e.SubmitBatch(h, burst[:]); err != nil {
 					t.Error(err)
 					return
 				}
@@ -122,15 +184,17 @@ func TestPerAggregateRateEnforcement(t *testing.T) {
 func TestStatsOnShardGoroutine(t *testing.T) {
 	e := New(Config{Shards: 2})
 	defer e.Close()
-	if err := e.Add("x", tbf.MustNew(8*units.Mbps, 2*units.MSS), nil); err != nil {
+	h, err := e.Add("x", tbf.MustNew(8*units.Mbps, 2*units.MSS), nil)
+	if err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < 10; i++ {
-		if err := e.Submit("x", pkt(i)); err != nil {
+		if err := e.Submit(h, pkt(i)); err != nil {
 			t.Fatal(err)
 		}
 	}
-	// Stats is synchronous: it runs after everything queued before it.
+	// Stats is synchronous: it flushes the pending burst and runs after
+	// everything queued before it.
 	st, err := e.Stats("x")
 	if err != nil {
 		t.Fatal(err)
@@ -143,6 +207,69 @@ func TestStatsOnShardGoroutine(t *testing.T) {
 	}
 }
 
+// statlessEnforcer implements Enforcer but not StatsReader.
+type statlessEnforcer struct{}
+
+func (statlessEnforcer) Submit(time.Duration, packet.Packet) enforcer.Verdict {
+	return enforcer.Transmit
+}
+
+func TestStatsErrNoStats(t *testing.T) {
+	e := New(Config{Shards: 1})
+	defer e.Close()
+	if _, err := e.Add("mute", statlessEnforcer{}, nil); err != nil {
+		t.Fatal(err)
+	}
+	_, err := e.Stats("mute")
+	if !errors.Is(err, ErrNoStats) {
+		t.Errorf("Stats on stats-less enforcer: err = %v, want ErrNoStats", err)
+	}
+}
+
+func TestSingleAndBatchAgree(t *testing.T) {
+	// The same deterministic traffic through Submit and through
+	// SubmitBatch must produce identical enforcement statistics.
+	run := func(batch bool) enforcer.Stats {
+		clock := &fakeClock{step: 100 * time.Microsecond}
+		e := New(Config{Shards: 1, Clock: clock.now, QueueDepth: 1 << 16})
+		defer e.Close()
+		h, err := e.Add("x", tbf.MustNew(8*units.Mbps, 64*units.MSS), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const n = 4096
+		if batch {
+			var buf [32]packet.Packet
+			for i := 0; i < n; i += len(buf) {
+				for j := range buf {
+					buf[j] = pkt(i + j)
+				}
+				if err := e.SubmitBatch(h, buf[:]); err != nil {
+					t.Fatal(err)
+				}
+			}
+		} else {
+			for i := 0; i < n; i++ {
+				if err := e.Submit(h, pkt(i)); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		st, err := e.Stats("x")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p, _ := st.Totals(); p != n {
+			t.Fatalf("engine saw %d packets, want %d", p, n)
+		}
+		return st
+	}
+	single, batched := run(false), run(true)
+	if single != batched {
+		t.Errorf("single-packet path stats %+v != batch path stats %+v", single, batched)
+	}
+}
+
 func TestFlushRunsMaintenance(t *testing.T) {
 	e := New(Config{Shards: 1})
 	defer e.Close()
@@ -150,7 +277,7 @@ func TestFlushRunsMaintenance(t *testing.T) {
 		Rate: units.Mbps, Queues: 2, QueueSize: 100 * units.MSS,
 		BurstControl: true,
 	})
-	if err := e.Add("x", enf, nil); err != nil {
+	if _, err := e.Add("x", enf, nil); err != nil {
 		t.Fatal(err)
 	}
 	ran := false
@@ -164,15 +291,43 @@ func TestFlushRunsMaintenance(t *testing.T) {
 	}
 }
 
+func TestDeadlineFlushDeliversPartialBursts(t *testing.T) {
+	// A lone packet must not be stranded in the pending burst: the
+	// background deadline flusher delivers it without any further
+	// traffic or control activity.
+	var emitted atomic.Int64
+	e := New(Config{Shards: 1, FlushInterval: time.Millisecond, QueueDepth: 16})
+	defer e.Close()
+	h, err := e.Add("x", tbf.MustNew(units.Mbps, 10*units.MSS), func(packet.Packet) {
+		emitted.Add(1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Submit(h, pkt(0)); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(5 * time.Second)
+	for emitted.Load() == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("staged packet never flushed by the deadline trigger")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+}
+
 func TestOverloadSheds(t *testing.T) {
-	// A blocked shard must shed packets rather than block Submit.
+	// A blocked shard must shed bursts rather than block Submit.
 	gate := make(chan struct{})
 	e := New(Config{Shards: 1, QueueDepth: 4})
 	// LIFO: the gate must open before Close waits for the shard.
 	defer e.Close()
 	defer close(gate)
 	enf := tbf.MustNew(units.Mbps, 10*units.MSS)
-	if err := e.Add("x", enf, func(packet.Packet) { <-gate }); err != nil {
+	h, err := e.Add("x", enf, func(packet.Packet) { <-gate })
+	if err != nil {
 		t.Fatal(err)
 	}
 	deadline := time.After(5 * time.Second)
@@ -182,27 +337,104 @@ func TestOverloadSheds(t *testing.T) {
 			t.Fatal("never shed load with a blocked shard")
 		default:
 		}
-		if err := e.Submit("x", pkt(0)); err != nil {
+		if err := e.Submit(h, pkt(0)); err != nil {
 			t.Fatal(err)
+		}
+	}
+}
+
+func TestControlFailsOverOnSaturatedShard(t *testing.T) {
+	// With the shard goroutine wedged in an emit callback and the data
+	// ring full, a control operation must not block forever behind data
+	// traffic: it fails over to the control lane and, with the consumer
+	// still wedged, eventually reports ErrSaturated instead of hanging.
+	gate := make(chan struct{})
+	e := New(Config{
+		Shards: 1, QueueDepth: 1, FlushBurst: 1,
+		ControlTimeout: 20 * time.Millisecond,
+	})
+	defer e.Close()
+	defer close(gate)
+	h, err := e.Add("x", tbf.MustNew(units.Mbps, 1000*units.MSS), func(packet.Packet) { <-gate })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wedge the consumer and fill the ring.
+	for i := 0; i < 64; i++ {
+		if err := e.Submit(h, pkt(0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Control ops fail over from the full data ring to the control lane
+	// and park there until the consumer unwedges; once the lane itself
+	// is full, further ops must report ErrSaturated instead of hanging.
+	// Launch enough to overflow the lane and wait for the first
+	// saturation report.
+	errs := make(chan error, 24)
+	for i := 0; i < cap(errs); i++ {
+		go func() { errs <- e.Flush("x", func(enforcer.Enforcer) {}) }()
+	}
+	timeout := time.After(30 * time.Second)
+	for {
+		select {
+		case err := <-errs:
+			if errors.Is(err, ErrSaturated) {
+				return // reported saturation instead of hanging
+			}
+			if err != nil {
+				t.Fatalf("unexpected control error: %v", err)
+			}
+		case <-timeout:
+			t.Fatal("control never reported saturation on a wedged shard")
 		}
 	}
 }
 
 func TestCloseIdempotentAndRejects(t *testing.T) {
 	e := New(Config{Shards: 2})
-	if err := e.Add("x", tbf.MustNew(units.Mbps, 10*units.MSS), nil); err != nil {
+	h, err := e.Add("x", tbf.MustNew(units.Mbps, 10*units.MSS), nil)
+	if err != nil {
 		t.Fatal(err)
 	}
 	e.Close()
 	e.Close()
-	if err := e.Submit("x", pkt(0)); err == nil {
+	if err := e.Submit(h, pkt(0)); err == nil {
 		t.Error("submit after close accepted")
+	}
+	if err := e.SubmitBatch(h, []packet.Packet{pkt(0)}); err == nil {
+		t.Error("batch submit after close accepted")
+	}
+	if err := e.SubmitID("x", pkt(0)); err == nil {
+		t.Error("submit by id after close accepted")
 	}
 	if _, err := e.Stats("x"); err == nil {
 		t.Error("stats after close accepted")
 	}
-	if err := e.Add("y", tbf.MustNew(units.Mbps, 10*units.MSS), nil); err == nil {
+	if _, err := e.Add("y", tbf.MustNew(units.Mbps, 10*units.MSS), nil); err == nil {
 		t.Error("add after close accepted")
+	}
+}
+
+func TestSubmitIDCompatibilityShim(t *testing.T) {
+	e := New(Config{Shards: 1})
+	defer e.Close()
+	if _, err := e.Add("x", tbf.MustNew(8*units.Mbps, 4*units.MSS), nil); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := e.SubmitID("x", pkt(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.SubmitID("nope", pkt(0)); err == nil {
+		t.Error("submit to unknown id accepted")
+	}
+	st, err := e.Stats("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p, _ := st.Totals(); p != 5 {
+		t.Errorf("stats saw %d packets, want 5", p)
 	}
 }
 
@@ -210,7 +442,8 @@ func TestConcurrentAddRemoveDuringTraffic(t *testing.T) {
 	clock := &fakeClock{step: 10 * time.Microsecond}
 	e := New(Config{Shards: 4, Clock: clock.now, QueueDepth: 1 << 12})
 	defer e.Close()
-	if err := e.Add("steady", tbf.MustNew(8*units.Mbps, 100*units.MSS), nil); err != nil {
+	steady, err := e.Add("steady", tbf.MustNew(8*units.Mbps, 100*units.MSS), nil)
+	if err != nil {
 		t.Fatal(err)
 	}
 	stop := make(chan struct{})
@@ -224,18 +457,19 @@ func TestConcurrentAddRemoveDuringTraffic(t *testing.T) {
 				return
 			default:
 			}
-			e.Submit("steady", pkt(i))
+			e.Submit(steady, pkt(i))
 		}
 	}()
 	go func() {
 		defer wg.Done()
 		for i := 0; i < 200; i++ {
 			id := fmt.Sprintf("churn-%d", i)
-			if err := e.Add(id, tbf.MustNew(units.Mbps, 10*units.MSS), nil); err != nil {
+			h, err := e.Add(id, tbf.MustNew(units.Mbps, 10*units.MSS), nil)
+			if err != nil {
 				t.Error(err)
 				return
 			}
-			e.Submit(id, pkt(i))
+			e.Submit(h, pkt(i))
 			if err := e.Remove(id); err != nil {
 				t.Error(err)
 				return
@@ -264,12 +498,13 @@ func TestFlushDrivesPhantomMaintenance(t *testing.T) {
 		BurstControl: true,
 		Window:       10 * time.Millisecond,
 	})
-	if err := e.Add("x", enf, nil); err != nil {
+	h, err := e.Add("x", enf, nil)
+	if err != nil {
 		t.Fatal(err)
 	}
 	// Burst to trigger the magic fill.
 	for i := 0; i < 400; i++ {
-		if err := e.Submit("x", pkt(0)); err != nil {
+		if err := e.Submit(h, pkt(0)); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -141,6 +141,13 @@ type PQP struct {
 	// red holds per-queue RED state when the AQM extension is enabled.
 	red []redState
 
+	// windowEpoch/windowStamp dedupe burst-control window rolls within one
+	// SubmitBatch call: rolling a class's window is idempotent at a fixed
+	// virtual time, so the batch path performs it once per class per burst
+	// instead of once per packet (see SubmitBatch).
+	windowEpoch uint64
+	windowStamp []uint64
+
 	started bool
 }
 
@@ -191,9 +198,10 @@ func New(cfg Config) (*PQP, error) {
 		}
 	}
 	p := &PQP{
-		cfg:    cfg,
-		queues: make([]queue, cfg.Queues),
-		shares: make([]float64, cfg.Queues),
+		cfg:         cfg,
+		queues:      make([]queue, cfg.Queues),
+		shares:      make([]float64, cfg.Queues),
+		windowStamp: make([]uint64, cfg.Queues),
 	}
 	p.flatWeights = cfg.Policy.FlatWeighted()
 	if cfg.RED != nil {

@@ -95,6 +95,30 @@ func (p *Policer) Submit(now time.Duration, pkt packet.Packet) enforcer.Verdict 
 	return enforcer.Drop
 }
 
+// SubmitBatch implements enforcer.BatchSubmitter: one token-refill
+// computation covers the whole burst. Equivalence with the per-packet path
+// is exact — refill is a no-op when virtual time has not advanced, so the
+// per-packet path's repeated refills at a fixed now do nothing after the
+// first; everything else is pure token arithmetic in packet order.
+func (p *Policer) SubmitBatch(now time.Duration, pkts []packet.Packet, verdicts []enforcer.Verdict) {
+	verdicts = verdicts[:len(pkts)]
+	if len(pkts) == 0 {
+		return
+	}
+	p.refill(now)
+	for i := range pkts {
+		s := float64(pkts[i].Size)
+		if p.tokens >= s {
+			p.tokens -= s
+			p.stats.Accept(pkts[i].Size)
+			verdicts[i] = enforcer.Transmit
+		} else {
+			p.stats.Reject(pkts[i].Size)
+			verdicts[i] = enforcer.Drop
+		}
+	}
+}
+
 // Probe reports whether a packet would be admitted at now without
 // consuming tokens (two-phase admission for cascaded rate limits).
 func (p *Policer) Probe(now time.Duration, pkt packet.Packet) bool {
@@ -139,4 +163,5 @@ func (p *Policer) Bucket() int64 { return int64(p.bucket) }
 func (p *Policer) EnforcerStats() enforcer.Stats { return p.stats }
 
 var _ enforcer.Enforcer = (*Policer)(nil)
+var _ enforcer.BatchSubmitter = (*Policer)(nil)
 var _ enforcer.StatsReader = (*Policer)(nil)

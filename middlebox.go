@@ -1,6 +1,8 @@
 package bcpqp
 
 import (
+	"time"
+
 	"bcpqp/internal/cascade"
 	"bcpqp/internal/enforcer"
 	"bcpqp/internal/mbox"
@@ -8,13 +10,35 @@ import (
 
 // Middlebox is a sharded engine hosting many rate enforcers (one per
 // traffic aggregate) concurrently — the deployment shape of a production
-// rate-limiting middlebox. Aggregates are hashed across single-goroutine
+// rate-limiting middlebox. The datapath is burst-oriented and handle-based:
+// aggregates resolve to an AggregateHandle once at Add time, submissions
+// are lock-free reads of an atomically swapped registry snapshot, and
+// single-packet Submits coalesce into per-shard bursts flushed on a
+// size-or-deadline trigger. Aggregates are hashed across single-goroutine
 // shards so enforcers stay lock-free on the datapath; a full shard sheds
-// packets rather than blocking.
+// bursts rather than blocking.
 type Middlebox = mbox.Engine
 
-// MiddleboxConfig configures NewMiddlebox.
+// MiddleboxConfig configures NewMiddlebox, including the burst coalescing
+// parameters FlushBurst (size trigger, default 32) and FlushInterval
+// (deadline trigger, default 500µs).
 type MiddleboxConfig = mbox.Config
+
+// AggregateHandle identifies a registered aggregate on the middlebox
+// datapath. Handles are returned by Add, resolved by Lookup, and are never
+// reused, so a stale handle cannot alias a later aggregate.
+type AggregateHandle = mbox.Handle
+
+// NoAggregate is the invalid handle returned alongside errors.
+const NoAggregate = mbox.NoHandle
+
+// ErrNoStats reports that an aggregate's enforcer exposes no statistics
+// (it does not implement StatsReader). Test with errors.Is.
+var ErrNoStats = mbox.ErrNoStats
+
+// ErrShardSaturated reports that a middlebox control operation timed out
+// against a saturated shard. Test with errors.Is.
+var ErrShardSaturated = mbox.ErrSaturated
 
 // EmitFunc receives packets an aggregate's enforcer transmitted. It runs on
 // a shard goroutine: it must not block and must not call back into the
@@ -23,6 +47,24 @@ type EmitFunc = mbox.Emit
 
 // NewMiddlebox starts a middlebox engine.
 func NewMiddlebox(cfg MiddleboxConfig) *Middlebox { return mbox.New(cfg) }
+
+// BatchSubmitter is the burst-oriented enforcement capability: all
+// enforcers in this module (PQP/BC-PQP, Policer, FairPolicer, Cascade)
+// implement it natively, amortizing clock handling, lazy drains, token
+// refills, and burst-control window checks across a whole burst.
+type BatchSubmitter = enforcer.BatchSubmitter
+
+// SubmitBatch drives any Enforcer over a burst arriving at virtual time
+// now, writing one verdict per packet into verdicts (len(pkts) required):
+// natively for BatchSubmitters, via a per-packet fallback loop otherwise.
+// Verdicts are byte-identical to per-packet Submit calls at the same time.
+func SubmitBatch(enf Enforcer, now time.Duration, pkts []Packet, verdicts []Verdict) {
+	enforcer.SubmitBatch(enf, now, pkts, verdicts)
+}
+
+// Batched adapts any Enforcer to BatchSubmitter, returning native
+// implementations unchanged and wrapping the rest in a Submit loop.
+func Batched(enf Enforcer) BatchSubmitter { return enforcer.Batched(enf) }
 
 // StatsReader is implemented by every enforcer in this module.
 type StatsReader = enforcer.StatsReader
