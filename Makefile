@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race fuzz-smoke bench verify
+.PHONY: all build test vet staticcheck race chaos fuzz-smoke bench verify
 
 all: verify
 
@@ -16,6 +16,22 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Static analysis beyond go vet. Skips with a notice when the staticcheck
+# binary is not on PATH (nothing is downloaded here); CI installs it.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
+
+# Chaos gate: the seeded fault-injection suite (panic isolation,
+# quarantine, watchdog, deadline-bounded Close) repeated under the race
+# detector. Seeded draws make every repetition identical, so -count=3
+# checks the engine, not the dice.
+chaos:
+	$(GO) test -race -count=3 -run 'Chaos|Fault|Control|Overloaded' ./internal/mbox/ ./internal/faultinject/
+
 # Ten-second smoke run of every fuzz target (seed corpus + a short burst of
 # generated inputs); full fuzzing sessions run the targets individually.
 fuzz-smoke:
@@ -29,5 +45,6 @@ fuzz-smoke:
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' ./...
 
-# The gate CI runs: build + vet + race-enabled tests + fuzz smoke.
-verify: build vet race fuzz-smoke
+# The gate CI runs: build + vet + staticcheck + race-enabled tests +
+# chaos suite + fuzz smoke.
+verify: build vet staticcheck race chaos fuzz-smoke

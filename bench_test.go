@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"bcpqp/internal/experiments"
+	"bcpqp/internal/faultinject"
 	"bcpqp/internal/harness"
 	"bcpqp/internal/packet"
 	"bcpqp/internal/sched"
@@ -298,6 +299,66 @@ func BenchmarkMiddleboxSubmitBatch(b *testing.B) {
 			b.ReportMetric(pps, "pkts/sec")
 		})
 	}
+}
+
+// BenchmarkMiddleboxDegradedBatch measures the quarantine fast path: the
+// cost per packet of a burst belonging to an aggregate whose enforcer has
+// been quarantined by the circuit breaker (FailClosed: count-and-drop
+// without touching the enforcer). This bounds the blast radius of a
+// crash-looping enforcer — degraded traffic must be cheaper than enforced
+// traffic, not dearer. One iteration is one packet, comparable to
+// BenchmarkMiddleboxSubmitBatch.
+func BenchmarkMiddleboxDegradedBatch(b *testing.B) {
+	var ticks atomic.Int64
+	eng := NewMiddlebox(MiddleboxConfig{
+		QueueDepth: 1 << 14,
+		Clock: func() time.Duration {
+			return time.Duration(ticks.Add(1)) * 10 * time.Microsecond
+		},
+	})
+	defer eng.Close()
+	enf, err := NewBCPQP(BCPQPConfig{Rate: 20 * Mbps, Queues: 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	inj := faultinject.New(enf, faultinject.Plan{Seed: 1, Panic: 1, MaxPanics: 1})
+	h, err := eng.Add("victim", inj, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Trip the breaker (default PanicThreshold 1), then barrier on the
+	// control lane so quarantine is observed before timing starts.
+	trip := [1]Packet{{Key: FlowKey{SrcIP: 1, Proto: 6}, Size: MSS}}
+	if err := eng.SubmitBatch(h, trip[:]); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := eng.Stats("victim"); err != nil {
+		b.Fatal(err)
+	}
+	if q, err := eng.Quarantined("victim"); err != nil || !q {
+		b.Fatalf("aggregate not quarantined before timing (q=%v err=%v)", q, err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		var burst [DefaultBurst]Packet
+		for i := range burst {
+			burst[i] = Packet{Key: FlowKey{SrcIP: 1, Proto: 6}, Size: MSS, Class: i & 15}
+		}
+		fill := 0
+		for pb.Next() {
+			if fill++; fill == len(burst) {
+				fill = 0
+				eng.SubmitBatch(h, burst[:])
+			}
+		}
+		if fill > 0 {
+			eng.SubmitBatch(h, burst[:fill])
+		}
+	})
+	b.StopTimer()
+	pps := float64(b.N) / b.Elapsed().Seconds()
+	b.ReportMetric(pps, "pkts/sec")
 }
 
 // Per-figure regeneration benches: each iteration regenerates the figure at

@@ -21,11 +21,13 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"net"
 	"os"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"bcpqp"
@@ -56,7 +58,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	if err := relay(*listen, *forward, enf, *queues, nil); err != nil {
+	in, err := net.ListenPacket("udp", *listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer in.Close()
+	if err := relay(in, *forward, enf, nil); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
@@ -92,8 +100,36 @@ func buildEnforcer(name string, rate bcpqp.Rate, queues int) (bcpqp.Enforcer, er
 // the enforcer datapath — the userspace analogue of a DPDK rx_burst.
 const drainDeadline = 200 * time.Microsecond
 
-// relay runs the datapath until the socket closes. stop, when non-nil, is
-// polled to terminate gracefully (used by the selftest).
+// relayRetries bounds how many times a transiently failing write to the
+// out-socket is retried (with a short backoff) before the datagram is
+// dropped and counted; the relay itself keeps running either way.
+const (
+	relayRetries    = 3
+	relayRetryDelay = 200 * time.Microsecond
+)
+
+// transientNetErr reports whether a socket error is transient for a live
+// relay: an ICMP-induced ECONNREFUSED on the connected out-socket (the
+// forward target briefly down), an unreachable network/host during a
+// routing flap, exhausted socket buffers, or a plain timeout. A policer
+// must degrade on these — drop and count — not exit.
+func transientNetErr(err error) bool {
+	if errors.Is(err, syscall.ECONNREFUSED) ||
+		errors.Is(err, syscall.ENETUNREACH) ||
+		errors.Is(err, syscall.EHOSTUNREACH) ||
+		errors.Is(err, syscall.ENOBUFS) ||
+		errors.Is(err, syscall.EAGAIN) {
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
+// relay runs the datapath over the already-open listen socket until the
+// socket closes. The caller owns in (passing it open avoids any
+// close-and-rebind race for callers that need to learn the bound address
+// first). stop, when non-nil, is polled to terminate gracefully (used by
+// the selftest).
 //
 // Datagrams are received in bursts of up to bcpqp.DefaultBurst: one
 // blocking read, then opportunistic reads that drain whatever the kernel
@@ -101,12 +137,12 @@ const drainDeadline = 200 * time.Microsecond
 // a single SubmitBatch call at one arrival timestamp — the same burst
 // granularity a polling middlebox observes — and accepted datagrams are
 // relayed in order.
-func relay(listen, forward string, enf bcpqp.Enforcer, queues int, stop *atomic.Bool) error {
-	in, err := net.ListenPacket("udp", listen)
-	if err != nil {
-		return err
-	}
-	defer in.Close()
+//
+// Transient errors on the connected out-socket (ECONNREFUSED from ICMP
+// port-unreachable, ENETUNREACH, full socket buffers) are retried a bounded
+// number of times and then dropped and counted — the relay only exits on
+// hard errors or when its listen socket is closed.
+func relay(in net.PacketConn, forward string, enf bcpqp.Enforcer, stop *atomic.Bool) error {
 	dst, err := net.ResolveUDPAddr("udp", forward)
 	if err != nil {
 		return err
@@ -128,18 +164,21 @@ func relay(listen, forward string, enf bcpqp.Enforcer, queues int, stop *atomic.
 		bufs[i] = make([]byte, 65536)
 	}
 	start := time.Now()
-	var accepted, dropped int64
+	var accepted, dropped, writeDropped, writeErrs int64
 	for {
 		if stop != nil && stop.Load() {
-			fmt.Fprintf(os.Stderr, "bcpqp-proxy: accepted %d, dropped %d\n", accepted, dropped)
+			fmt.Fprintf(os.Stderr, "bcpqp-proxy: accepted %d, dropped %d, write-dropped %d\n",
+				accepted, dropped, writeDropped)
 			return nil
 		}
 		// First datagram of the burst: wait for traffic (polling the
 		// stop flag when one is wired up).
+		var deadline time.Time
 		if stop != nil {
-			in.SetReadDeadline(time.Now().Add(100 * time.Millisecond))
-		} else {
-			in.SetReadDeadline(time.Time{})
+			deadline = time.Now().Add(100 * time.Millisecond)
+		}
+		if err := in.SetReadDeadline(deadline); err != nil {
+			return fmt.Errorf("set read deadline: %w", err)
 		}
 		n, from, err := in.ReadFrom(bufs[0])
 		if err != nil {
@@ -154,7 +193,9 @@ func relay(listen, forward string, enf bcpqp.Enforcer, queues int, stop *atomic.
 		// Opportunistic drain: collect datagrams the kernel already
 		// buffered, stopping at the first (very short) timeout.
 		for count < len(bufs) {
-			in.SetReadDeadline(time.Now().Add(drainDeadline))
+			if err := in.SetReadDeadline(time.Now().Add(drainDeadline)); err != nil {
+				return fmt.Errorf("set read deadline: %w", err)
+			}
 			n, from, err = in.ReadFrom(bufs[count])
 			if err != nil {
 				if ne, ok := err.(net.Error); ok && ne.Timeout() {
@@ -171,14 +212,40 @@ func relay(listen, forward string, enf bcpqp.Enforcer, queues int, stop *atomic.
 			switch verdicts[i] {
 			case bcpqp.Transmit, bcpqp.TransmitCE:
 				accepted++
-				if _, err := out.Write(bufs[i][:lens[i]]); err != nil {
-					return err
+				if err := writeTransient(out, bufs[i][:lens[i]]); err != nil {
+					if !transientNetErr(err) {
+						return fmt.Errorf("relay write: %w", err)
+					}
+					// Still failing after bounded retries: shed the
+					// datagram, keep the relay alive, and say so
+					// (first occurrence, then every 1024th).
+					writeDropped++
+					if writeErrs++; writeErrs == 1 || writeErrs%1024 == 0 {
+						fmt.Fprintf(os.Stderr,
+							"bcpqp-proxy: transient write error (%d so far, dropping): %v\n",
+							writeErrs, err)
+					}
 				}
 			default:
 				dropped++
 			}
 		}
 	}
+}
+
+// writeTransient writes one datagram with a bounded retry on transient
+// errors; the final error (nil on success) is returned for accounting.
+func writeTransient(out *net.UDPConn, buf []byte) error {
+	var err error
+	for attempt := 0; attempt <= relayRetries; attempt++ {
+		if attempt > 0 {
+			time.Sleep(relayRetryDelay)
+		}
+		if _, err = out.Write(buf); err == nil || !transientNetErr(err) {
+			return err
+		}
+	}
+	return err
 }
 
 // keyFor derives a flow key from a UDP source address.
@@ -226,17 +293,19 @@ func runSelfTest(rateMbps float64, scheme string, queues int, dur time.Duration)
 		return err
 	}
 	var stop atomic.Bool
-	proxyAddr := "127.0.0.1:0"
-	// Bind the proxy socket first so senders know where to aim.
-	in, err := net.ListenPacket("udp", proxyAddr)
+	// Bind the proxy socket once and hand it to the relay still open: the
+	// senders learn the bound address from the same socket the relay reads,
+	// so there is no close-and-rebind window in which another process could
+	// grab the port (or early datagrams could be lost).
+	in, err := net.ListenPacket("udp", "127.0.0.1:0")
 	if err != nil {
 		return err
 	}
+	defer in.Close()
 	listenAddr := in.LocalAddr().String()
-	in.Close() // relay reopens it; tiny race is fine for a demo
 	proxyDone := make(chan error, 1)
 	go func() {
-		proxyDone <- relay(listenAddr, sink.LocalAddr().String(), enf, queues, &stop)
+		proxyDone <- relay(in, sink.LocalAddr().String(), enf, &stop)
 	}()
 	time.Sleep(50 * time.Millisecond)
 

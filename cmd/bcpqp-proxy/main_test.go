@@ -1,7 +1,11 @@
 package main
 
 import (
+	"errors"
+	"fmt"
 	"net"
+	"sync/atomic"
+	"syscall"
 	"testing"
 	"time"
 
@@ -42,6 +46,100 @@ func TestSelfTestLoopback(t *testing.T) {
 	}
 	if err := runSelfTest(5, "bc-pqp", 8, 1500*time.Millisecond); err != nil {
 		t.Fatalf("selftest: %v", err)
+	}
+}
+
+// TestTransientNetErrClassification pins which socket errors the relay
+// treats as survivable (drop and count) versus fatal (exit).
+func TestTransientNetErrClassification(t *testing.T) {
+	transient := []error{
+		syscall.ECONNREFUSED,
+		syscall.ENETUNREACH,
+		syscall.EHOSTUNREACH,
+		syscall.ENOBUFS,
+		syscall.EAGAIN,
+		fmt.Errorf("write udp: %w", syscall.ECONNREFUSED), // wrapped, as net.OpError yields
+		&net.OpError{Op: "write", Err: timeoutErr{}},
+	}
+	for _, err := range transient {
+		if !transientNetErr(err) {
+			t.Errorf("transientNetErr(%v) = false, want true", err)
+		}
+	}
+	fatal := []error{
+		nil,
+		syscall.EBADF,
+		syscall.EINVAL,
+		errors.New("use of closed network connection"),
+	}
+	for _, err := range fatal {
+		if transientNetErr(err) {
+			t.Errorf("transientNetErr(%v) = true, want false", err)
+		}
+	}
+}
+
+type timeoutErr struct{}
+
+func (timeoutErr) Error() string   { return "i/o timeout" }
+func (timeoutErr) Timeout() bool   { return true }
+func (timeoutErr) Temporary() bool { return true }
+
+// TestRelaySurvivesUnreachableForward aims the relay at a loopback port
+// with no listener — every accepted datagram's write draws an ICMP
+// port-unreachable, surfacing as ECONNREFUSED on the connected socket —
+// and verifies the relay neither exits nor errors: it sheds, counts, and
+// keeps serving until asked to stop. This is the regression test for the
+// old behaviour of exiting fatally on the first transient relay error.
+func TestRelaySurvivesUnreachableForward(t *testing.T) {
+	in, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in.Close()
+
+	// Reserve a port, then close it so nothing listens there.
+	hole, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	forward := hole.LocalAddr().String()
+	hole.Close()
+
+	enf, err := buildEnforcer("policer", 100*bcpqp.Mbps, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stop atomic.Bool
+	done := make(chan error, 1)
+	go func() { done <- relay(in, forward, enf, &stop) }()
+
+	conn, err := net.Dial("udp", in.LocalAddr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	payload := make([]byte, 256)
+	for i := 0; i < 20; i++ {
+		if _, err := conn.Write(payload); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	select {
+	case err := <-done:
+		t.Fatalf("relay exited on transient write errors: %v", err)
+	case <-time.After(100 * time.Millisecond):
+	}
+	stop.Store(true)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("relay returned error after graceful stop: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("relay did not stop within 2s of the stop flag")
 	}
 }
 

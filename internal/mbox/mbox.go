@@ -23,12 +23,21 @@
 // goroutines, so they are safe during full-rate traffic; under saturation
 // they fail over to a dedicated control lane so a wedged shard ring cannot
 // stall the control plane behind data traffic.
+//
+// The runtime is fault-tolerant: every enforcement run and control item
+// executes inside a panic barrier, a panicking enforcer is quarantined by a
+// per-aggregate circuit breaker (its traffic degrades to FailClosed drops or
+// FailOpen unenforced passes instead of killing the shard goroutine), a
+// watchdog classifies shards Healthy/Degraded/Wedged from heartbeat age,
+// ring depth and fault counters (Engine.Health), and Close is bounded by a
+// deadline that force-abandons wedged shards rather than hanging.
 package mbox
 
 import (
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -61,6 +70,63 @@ var ErrNoStats = errors.New("enforcer exposes no stats")
 // control lane. Test with errors.Is.
 var ErrSaturated = errors.New("shard saturated")
 
+// DegradeMode selects what happens to traffic for a quarantined aggregate
+// (one whose enforcer tripped the panic circuit breaker).
+type DegradeMode int32
+
+const (
+	// FailClosed drops a quarantined aggregate's packets (counted in
+	// DegradedDrops). The safe default: a broken enforcer cannot be
+	// trusted to police, so its traffic is not forwarded.
+	FailClosed DegradeMode = iota
+	// FailOpen transmits a quarantined aggregate's packets unenforced
+	// (counted in DegradedPasses) — availability over enforcement, for
+	// deployments where dropping a subscriber outright is worse than
+	// temporarily not policing them.
+	FailOpen
+)
+
+// String names the degrade mode for logs and health dumps.
+func (m DegradeMode) String() string {
+	switch m {
+	case FailClosed:
+		return "fail-closed"
+	case FailOpen:
+		return "fail-open"
+	default:
+		return fmt.Sprintf("degrade-mode(%d)", int32(m))
+	}
+}
+
+// ShardState is the watchdog's classification of one shard.
+type ShardState int32
+
+const (
+	// ShardHealthy: the shard is idle or making progress.
+	ShardHealthy ShardState = iota
+	// ShardDegraded: the shard is alive but under duress — it recently
+	// recovered a panic, shed load, or its ring is nearly full.
+	ShardDegraded
+	// ShardWedged: the shard has queued or in-flight work but its
+	// heartbeat has not advanced within WedgeTimeout — typically a
+	// blocked Emit callback or a stalled enforcer.
+	ShardWedged
+)
+
+// String names the shard state for logs and health dumps.
+func (s ShardState) String() string {
+	switch s {
+	case ShardHealthy:
+		return "healthy"
+	case ShardDegraded:
+		return "degraded"
+	case ShardWedged:
+		return "wedged"
+	default:
+		return fmt.Sprintf("shard-state(%d)", int32(s))
+	}
+}
+
 // Config configures an Engine.
 type Config struct {
 	// Shards is the number of shard goroutines (default GOMAXPROCS).
@@ -87,6 +153,31 @@ type Config struct {
 	// once per burst, not once per packet. The default is wall time
 	// since engine start. Tests inject deterministic clocks.
 	Clock func() time.Duration
+
+	// DegradeMode is the default degrade mode applied when an
+	// aggregate's enforcer is quarantined (default FailClosed). Override
+	// per aggregate with SetDegradeMode.
+	DegradeMode DegradeMode
+	// PanicThreshold is the circuit-breaker trip count: an aggregate is
+	// quarantined once its enforcer (or emit hook) has panicked this
+	// many times (default 1).
+	PanicThreshold int
+	// CloseTimeout bounds Close: shards that cannot be stopped and
+	// drained within this deadline are force-abandoned and their queued
+	// packets counted as shed (default 5s).
+	CloseTimeout time.Duration
+	// WatchdogInterval is how often the watchdog reclassifies shard
+	// health (default 25ms).
+	WatchdogInterval time.Duration
+	// WedgeTimeout is the heartbeat age beyond which a shard with
+	// pending or in-flight work is classified Wedged (default 1s).
+	WedgeTimeout time.Duration
+	// OnFault, when non-nil, is called once per recovered panic with the
+	// aggregate id (empty when unattributable), the recovered value, and
+	// the stack of the panicking goroutine. It runs on the shard
+	// goroutine: it must be fast, must not block, and must not call back
+	// into the Engine.
+	OnFault func(id string, recovered any, stack []byte)
 }
 
 // Engine hosts many enforcers behind a concurrent burst-submit API.
@@ -96,6 +187,22 @@ type Engine struct {
 
 	// Overloaded counts packets shed because a shard ring was full.
 	Overloaded atomic.Int64
+	// Panics counts recovered enforcer/emit panics (each injected or
+	// organic panic is recovered and counted exactly once).
+	Panics atomic.Int64
+	// DegradedDrops counts packets dropped because their aggregate was
+	// quarantined in FailClosed mode (including the packets of the run
+	// that tripped the breaker).
+	DegradedDrops atomic.Int64
+	// DegradedPasses counts packets transmitted unenforced because their
+	// aggregate was quarantined in FailOpen mode.
+	DegradedPasses atomic.Int64
+	// BadVerdicts counts out-of-range verdicts (a corrupted or buggy
+	// enforcer) coerced to Drop on the emit path.
+	BadVerdicts atomic.Int64
+	// ControlFailovers counts control operations that failed over from
+	// the ordered data ring to the priority control lane.
+	ControlFailovers atomic.Int64
 
 	// table is the copy-on-write registry snapshot the datapath reads
 	// lock-free. Writers (Add/Remove/Close) serialize on mu and publish
@@ -103,10 +210,10 @@ type Engine struct {
 	table atomic.Pointer[registry]
 	mu    sync.Mutex
 
-	pool      sync.Pool // *burst
-	flushStop chan struct{}
-	dead      chan struct{} // closed once every shard goroutine exited
-	wg        sync.WaitGroup
+	pool        sync.Pool // *burst
+	flushStop   chan struct{}
+	dead        chan struct{} // closed once Close finished (shards exited or abandoned)
+	closeReport CloseReport   // stored by the first Close, returned by later ones
 }
 
 // registry is one immutable snapshot of the aggregate table.
@@ -116,13 +223,23 @@ type registry struct {
 	byID   map[string]Handle // compatibility shim for string-keyed lookup
 }
 
-// aggregate pairs an enforcer with its emit hook and owning shard.
+// aggregate pairs an enforcer with its emit hook and owning shard, plus the
+// mutable fault state shared by every registry snapshot that references it
+// (snapshots copy the slot pointers, not the aggregates).
 type aggregate struct {
 	id    string
 	h     Handle
 	enf   enforcer.Enforcer
 	emit  Emit
 	shard *shard
+
+	// Fault state. quarantined is the circuit breaker: once set, the
+	// datapath never calls the enforcer again until Reinstate.
+	quarantined    atomic.Bool
+	panics         atomic.Int64
+	degradedDrops  atomic.Int64
+	degradedPasses atomic.Int64
+	mode           atomic.Int32 // DegradeMode
 }
 
 // burst is one ring slot of work: either a single-aggregate burst (agg set,
@@ -138,14 +255,16 @@ type burst struct {
 type item struct {
 	b *burst
 
-	// Control messages.
+	// Control messages. agg attributes a control panic to its aggregate.
 	control func()
 	done    chan struct{}
+	agg     *aggregate
 	stop    bool
 }
 
 // shard is one single-goroutine execution domain.
 type shard struct {
+	idx  int
 	in   chan item // ordered data ring (bursts + in-band control)
 	ctrl chan item // priority control lane used when in is saturated
 
@@ -153,6 +272,18 @@ type shard struct {
 	staged *burst // pending coalesced burst, nil when empty
 
 	verdicts []enforcer.Verdict // consumer-side scratch, shard-owned
+
+	// Health plane. heartbeat is stamped (wall nanos) around every item;
+	// busy is true while an item is being processed, so the watchdog can
+	// tell a shard wedged mid-item (ring may be empty) from an idle one.
+	heartbeat atomic.Int64
+	busy      atomic.Bool
+	processed atomic.Int64 // items completed
+	panics    atomic.Int64 // panics recovered on this shard
+	shed      atomic.Int64 // packets shed at this shard's ring
+	state     atomic.Int32 // ShardState, maintained by the watchdog
+
+	done chan struct{} // closed when the shard goroutine exits
 }
 
 // New starts an Engine.
@@ -176,6 +307,18 @@ func New(cfg Config) *Engine {
 		start := time.Now()
 		cfg.Clock = func() time.Duration { return time.Since(start) }
 	}
+	if cfg.PanicThreshold <= 0 {
+		cfg.PanicThreshold = 1
+	}
+	if cfg.CloseTimeout <= 0 {
+		cfg.CloseTimeout = 5 * time.Second
+	}
+	if cfg.WatchdogInterval <= 0 {
+		cfg.WatchdogInterval = 25 * time.Millisecond
+	}
+	if cfg.WedgeTimeout <= 0 {
+		cfg.WedgeTimeout = time.Second
+	}
 	e := &Engine{
 		cfg:       cfg,
 		flushStop: make(chan struct{}),
@@ -188,17 +331,21 @@ func New(cfg Config) *Engine {
 		}
 	}
 	e.table.Store(&registry{byID: make(map[string]Handle)})
+	now := time.Now().UnixNano()
 	for i := 0; i < cfg.Shards; i++ {
 		s := &shard{
+			idx:      i,
 			in:       make(chan item, cfg.QueueDepth),
 			ctrl:     make(chan item, 16),
 			verdicts: make([]enforcer.Verdict, cfg.FlushBurst),
+			done:     make(chan struct{}),
 		}
+		s.heartbeat.Store(now)
 		e.shards = append(e.shards, s)
-		e.wg.Add(1)
 		go e.run(s)
 	}
 	go e.flusher()
+	go e.watchdog()
 	return e
 }
 
@@ -206,7 +353,7 @@ func New(cfg Config) *Engine {
 // priority; it only carries traffic when the data ring is saturated, which
 // is exactly when jumping the queue is the point.
 func (e *Engine) run(s *shard) {
-	defer e.wg.Done()
+	defer close(s.done)
 	for {
 		select {
 		case it := <-s.in:
@@ -221,16 +368,22 @@ func (e *Engine) run(s *shard) {
 	}
 }
 
-// process executes one item on the shard goroutine; true means stop.
+// process executes one item on the shard goroutine; true means stop. It
+// stamps the shard heartbeat around the item and marks the shard busy while
+// the item is in flight, so the watchdog can tell wedged from idle.
 func (e *Engine) process(s *shard, it item) bool {
 	if it.stop {
 		return true
 	}
+	s.busy.Store(true)
+	s.heartbeat.Store(time.Now().UnixNano())
+	defer func() {
+		s.processed.Add(1)
+		s.heartbeat.Store(time.Now().UnixNano())
+		s.busy.Store(false)
+	}()
 	if it.control != nil {
-		it.control()
-		if it.done != nil {
-			close(it.done)
-		}
+		e.runControl(s, it)
 		return false
 	}
 	b := it.b
@@ -256,26 +409,137 @@ func (e *Engine) process(s *shard, it item) bool {
 	return false
 }
 
+// runControl executes one control item inside a panic barrier. done is
+// closed even when fn panics, so a control waiter can never be leaked by a
+// faulty enforcer; the panic is attributed to the item's aggregate.
+func (e *Engine) runControl(s *shard, it item) {
+	defer func() {
+		if it.done != nil {
+			close(it.done)
+		}
+	}()
+	defer func() {
+		if r := recover(); r != nil {
+			e.notePanic(s, it.agg, r)
+		}
+	}()
+	it.control()
+}
+
 // runBatch pushes one single-aggregate run through the enforcer's batch
-// path (native when implemented, fallback loop otherwise) and emits the
-// transmitted packets.
+// path inside a panic barrier. A quarantined aggregate's run never touches
+// the enforcer: it degrades immediately (drop or pass-through per the
+// aggregate's DegradeMode). A run that panics mid-flight quarantines the
+// aggregate once the circuit-breaker threshold is reached and degrades the
+// unhandled remainder of the run, and the shard goroutine survives.
 func (e *Engine) runBatch(s *shard, now time.Duration, agg *aggregate, pkts []packet.Packet) {
+	if agg.quarantined.Load() {
+		e.degrade(s, agg, pkts)
+		return
+	}
+	if rest, faulted := e.enforceRun(s, now, agg, pkts); faulted {
+		e.degrade(s, agg, rest)
+	}
+}
+
+// enforceRun enforces and emits one run under a recover barrier. On panic
+// it reports faulted=true and the packets that were not fully handled: the
+// whole run when the enforcer itself panicked (no verdicts are trustworthy),
+// or the un-emitted tail when the emit hook panicked (the packet in flight
+// at the panic is indeterminate and is skipped).
+func (e *Engine) enforceRun(s *shard, now time.Duration, agg *aggregate, pkts []packet.Packet) (rest []packet.Packet, faulted bool) {
+	enforced := false
+	emitting := -1
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		e.notePanic(s, agg, r)
+		faulted = true
+		if !enforced {
+			rest = pkts
+		} else if emitting >= 0 && emitting+1 < len(pkts) {
+			rest = pkts[emitting+1:]
+		}
+	}()
 	if cap(s.verdicts) < len(pkts) {
 		s.verdicts = make([]enforcer.Verdict, len(pkts))
 	}
 	v := s.verdicts[:len(pkts)]
 	enforcer.SubmitBatch(agg.enf, now, pkts, v)
+	enforced = true
 	if agg.emit == nil {
-		return
+		return nil, false
 	}
 	for i, verdict := range v {
+		emitting = i
 		switch verdict {
 		case enforcer.Transmit:
 			agg.emit(pkts[i])
 		case enforcer.TransmitCE:
 			pkts[i].CE = true
 			agg.emit(pkts[i])
+		case enforcer.Drop, enforcer.Queued:
+		default:
+			// Out-of-range verdict (corrupted or buggy enforcer):
+			// coerce to Drop and make it visible.
+			e.BadVerdicts.Add(1)
 		}
+	}
+	return nil, false
+}
+
+// degrade applies an aggregate's DegradeMode to packets that cannot be
+// enforced (quarantined aggregate, or the remainder of a faulted run).
+func (e *Engine) degrade(s *shard, agg *aggregate, pkts []packet.Packet) {
+	if len(pkts) == 0 {
+		return
+	}
+	n := int64(len(pkts))
+	if DegradeMode(agg.mode.Load()) == FailOpen {
+		agg.degradedPasses.Add(n)
+		e.DegradedPasses.Add(n)
+		e.emitUnenforced(s, agg, pkts)
+		return
+	}
+	agg.degradedDrops.Add(n)
+	e.DegradedDrops.Add(n)
+}
+
+// emitUnenforced forwards a FailOpen aggregate's packets around its broken
+// enforcer, with its own panic barrier (the emit hook may be the broken
+// part).
+func (e *Engine) emitUnenforced(s *shard, agg *aggregate, pkts []packet.Packet) {
+	if agg.emit == nil {
+		return
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			e.notePanic(s, agg, r)
+		}
+	}()
+	for _, p := range pkts {
+		agg.emit(p)
+	}
+}
+
+// notePanic records one recovered panic, trips the aggregate's circuit
+// breaker at the configured threshold, and fires the OnFault hook.
+func (e *Engine) notePanic(s *shard, agg *aggregate, recovered any) {
+	e.Panics.Add(1)
+	if s != nil {
+		s.panics.Add(1)
+	}
+	id := ""
+	if agg != nil {
+		id = agg.id
+		if n := agg.panics.Add(1); n >= int64(e.cfg.PanicThreshold) {
+			agg.quarantined.Store(true)
+		}
+	}
+	if e.cfg.OnFault != nil {
+		e.cfg.OnFault(id, recovered, debug.Stack())
 	}
 }
 
@@ -317,6 +581,7 @@ func (e *Engine) enqueue(s *shard, b *burst) {
 	case s.in <- item{b: b}:
 	default:
 		e.Overloaded.Add(int64(len(b.pkts)))
+		s.shed.Add(int64(len(b.pkts)))
 		e.putBurst(b)
 	}
 }
@@ -371,6 +636,7 @@ func (e *Engine) Add(id string, enf enforcer.Enforcer, emit Emit) (Handle, error
 	}
 	h := Handle(len(t.slots))
 	agg := &aggregate{id: id, h: h, enf: enf, emit: emit, shard: e.shardFor(id)}
+	agg.mode.Store(int32(e.cfg.DegradeMode))
 	nt := &registry{
 		slots: append(append(make([]*aggregate, 0, len(t.slots)+1), t.slots...), agg),
 		byID:  make(map[string]Handle, len(t.byID)+1),
@@ -552,22 +818,14 @@ func (e *Engine) Flush(id string, fn func(enf enforcer.Enforcer)) error {
 // not letting data traffic stall the control plane; if even the lane is
 // full past the timeout, ErrSaturated is reported.
 func (e *Engine) control(id string, fn func(enforcer.Enforcer)) error {
-	t := e.table.Load()
-	if t.closed {
-		return fmt.Errorf("mbox: engine closed")
-	}
-	h, ok := t.byID[id]
-	if !ok {
-		return fmt.Errorf("mbox: unknown aggregate %q", id)
-	}
-	agg := t.slots[h]
-	if agg == nil {
-		return fmt.Errorf("mbox: unknown aggregate %q", id)
+	agg, err := e.aggByID(id)
+	if err != nil {
+		return err
 	}
 	s := agg.shard
 	e.flushStaged(s)
 	done := make(chan struct{})
-	it := item{control: func() { fn(agg.enf) }, done: done}
+	it := item{control: func() { fn(agg.enf) }, done: done, agg: agg}
 
 	timer := time.NewTimer(e.cfg.ControlTimeout)
 	select {
@@ -575,6 +833,7 @@ func (e *Engine) control(id string, fn func(enforcer.Enforcer)) error {
 		timer.Stop()
 	case <-timer.C:
 		// Ordered ring saturated: fail over to the priority lane.
+		e.ControlFailovers.Add(1)
 		timer.Reset(e.cfg.ControlTimeout)
 		select {
 		case s.ctrl <- it:
@@ -598,29 +857,356 @@ func (e *Engine) control(id string, fn func(enforcer.Enforcer)) error {
 	}
 }
 
-// Close drains the shards and stops their goroutines. Submitting after
-// Close returns an error; packets from Submit calls racing Close may be
-// silently discarded. Close is idempotent.
-func (e *Engine) Close() {
-	e.mu.Lock()
+// aggByID resolves a live aggregate from the current registry snapshot.
+func (e *Engine) aggByID(id string) (*aggregate, error) {
 	t := e.table.Load()
 	if t.closed {
-		e.mu.Unlock()
-		return
+		return nil, fmt.Errorf("mbox: engine closed")
+	}
+	h, ok := t.byID[id]
+	if !ok {
+		return nil, fmt.Errorf("mbox: unknown aggregate %q", id)
+	}
+	agg := t.slots[h]
+	if agg == nil {
+		return nil, fmt.Errorf("mbox: unknown aggregate %q", id)
+	}
+	return agg, nil
+}
+
+// FaultRecord is one aggregate's fault-plane state.
+type FaultRecord struct {
+	// Panics is the number of recovered panics attributed to this
+	// aggregate's enforcer or emit hook.
+	Panics int64
+	// Quarantined reports whether the circuit breaker is open: the
+	// enforcer is bypassed and traffic degrades per Mode.
+	Quarantined bool
+	// DegradedDrops / DegradedPasses count this aggregate's packets
+	// dropped (FailClosed) or forwarded unenforced (FailOpen).
+	DegradedDrops  int64
+	DegradedPasses int64
+	// Mode is the aggregate's current degrade mode.
+	Mode DegradeMode
+}
+
+// Faults reports an aggregate's fault-plane state.
+func (e *Engine) Faults(id string) (FaultRecord, error) {
+	agg, err := e.aggByID(id)
+	if err != nil {
+		return FaultRecord{}, err
+	}
+	return FaultRecord{
+		Panics:         agg.panics.Load(),
+		Quarantined:    agg.quarantined.Load(),
+		DegradedDrops:  agg.degradedDrops.Load(),
+		DegradedPasses: agg.degradedPasses.Load(),
+		Mode:           DegradeMode(agg.mode.Load()),
+	}, nil
+}
+
+// Quarantined reports whether an aggregate's circuit breaker is open.
+func (e *Engine) Quarantined(id string) (bool, error) {
+	agg, err := e.aggByID(id)
+	if err != nil {
+		return false, err
+	}
+	return agg.quarantined.Load(), nil
+}
+
+// SetDegradeMode overrides the engine-wide degrade mode for one aggregate.
+// It may be called at any time, including while the aggregate is
+// quarantined; in-flight runs observe the change on their next burst.
+func (e *Engine) SetDegradeMode(id string, m DegradeMode) error {
+	if m != FailClosed && m != FailOpen {
+		return fmt.Errorf("mbox: invalid degrade mode %v", m)
+	}
+	agg, err := e.aggByID(id)
+	if err != nil {
+		return err
+	}
+	agg.mode.Store(int32(m))
+	return nil
+}
+
+// Reinstate closes an aggregate's circuit breaker after a quarantine: the
+// panic count resets and the datapath resumes calling the enforcer. The
+// caller owns the backoff policy (reinstating a still-broken enforcer just
+// trips the breaker again on its next panic). Reinstating a healthy
+// aggregate is harmless and idempotent.
+func (e *Engine) Reinstate(id string) error {
+	agg, err := e.aggByID(id)
+	if err != nil {
+		return err
+	}
+	agg.panics.Store(0)
+	agg.quarantined.Store(false)
+	return nil
+}
+
+// ShardHealth is the watchdog's view of one shard.
+type ShardHealth struct {
+	Shard        int
+	State        ShardState
+	QueueDepth   int           // bursts queued on the ordered data ring
+	QueueCap     int           // ring capacity in bursts
+	HeartbeatAge time.Duration // time since the shard last made progress
+	Busy         bool          // an item is in flight right now
+	Processed    int64         // items completed
+	Panics       int64         // panics recovered on this shard
+	Shed         int64         // packets shed at this shard's ring
+}
+
+// Health is a point-in-time snapshot of the engine's fault plane.
+type Health struct {
+	Shards      []ShardHealth
+	Quarantined []string // ids of quarantined aggregates
+
+	Panics           int64
+	DegradedDrops    int64
+	DegradedPasses   int64
+	BadVerdicts      int64
+	Overloaded       int64
+	ControlFailovers int64
+}
+
+// Wedged reports whether any shard is currently classified Wedged.
+func (h Health) Wedged() bool {
+	for _, s := range h.Shards {
+		if s.State == ShardWedged {
+			return true
+		}
+	}
+	return false
+}
+
+// Health snapshots the engine's fault plane: per-shard watchdog state and
+// the engine-wide fault counters. It reads only atomics and the registry
+// snapshot, so it is safe (and cheap) to call at any rate from any
+// goroutine, including while the engine is saturated or closing.
+func (e *Engine) Health() Health {
+	now := time.Now().UnixNano()
+	h := Health{
+		Panics:           e.Panics.Load(),
+		DegradedDrops:    e.DegradedDrops.Load(),
+		DegradedPasses:   e.DegradedPasses.Load(),
+		BadVerdicts:      e.BadVerdicts.Load(),
+		Overloaded:       e.Overloaded.Load(),
+		ControlFailovers: e.ControlFailovers.Load(),
+	}
+	h.Shards = make([]ShardHealth, len(e.shards))
+	for i, s := range e.shards {
+		h.Shards[i] = ShardHealth{
+			Shard:        i,
+			State:        ShardState(s.state.Load()),
+			QueueDepth:   len(s.in),
+			QueueCap:     cap(s.in),
+			HeartbeatAge: time.Duration(now - s.heartbeat.Load()),
+			Busy:         s.busy.Load(),
+			Processed:    s.processed.Load(),
+			Panics:       s.panics.Load(),
+			Shed:         s.shed.Load(),
+		}
+	}
+	for _, agg := range e.table.Load().slots {
+		if agg != nil && agg.quarantined.Load() {
+			h.Quarantined = append(h.Quarantined, agg.id)
+		}
+	}
+	return h
+}
+
+// watchdog periodically reclassifies every shard from its heartbeat age,
+// ring depth, and fault-counter deltas. It shares the flusher's stop
+// channel and exits at Close.
+func (e *Engine) watchdog() {
+	t := time.NewTicker(e.cfg.WatchdogInterval)
+	defer t.Stop()
+	lastPanics := make([]int64, len(e.shards))
+	lastShed := make([]int64, len(e.shards))
+	for {
+		select {
+		case <-e.flushStop:
+			return
+		case <-t.C:
+			now := time.Now().UnixNano()
+			for i, s := range e.shards {
+				s.state.Store(int32(e.classify(s, now, &lastPanics[i], &lastShed[i])))
+			}
+		}
+	}
+}
+
+// classify derives one shard's state. A shard is Wedged only when it has
+// work (queued or in flight) and its heartbeat is stale — an idle shard's
+// heartbeat goes stale legitimately. It is Degraded when it recovered a
+// panic or shed load since the last check, or its ring is ≥3/4 full.
+func (e *Engine) classify(s *shard, now int64, lastPanics, lastShed *int64) ShardState {
+	depth := len(s.in) + len(s.ctrl)
+	age := time.Duration(now - s.heartbeat.Load())
+	working := depth > 0 || s.busy.Load()
+	p, sh := s.panics.Load(), s.shed.Load()
+	panicked, shed := p > *lastPanics, sh > *lastShed
+	*lastPanics, *lastShed = p, sh
+	switch {
+	case working && age > e.cfg.WedgeTimeout:
+		return ShardWedged
+	case panicked || shed || len(s.in) >= cap(s.in)-cap(s.in)/4:
+		return ShardDegraded
+	default:
+		return ShardHealthy
+	}
+}
+
+// CloseReport describes how a Close went down.
+type CloseReport struct {
+	// Clean is true when every shard drained its ring and exited within
+	// the deadline — the pre-fault-tolerance Close behaviour.
+	Clean bool
+	// AbandonedShards counts shard goroutines that did not exit within
+	// the deadline and were force-abandoned (typically wedged in a
+	// blocked Emit callback). Their goroutines are left behind; if they
+	// ever unwedge they find empty rings and exit on the pending stop.
+	AbandonedShards int
+	// ShedPackets counts packets that were queued but discarded
+	// unenforced during a forced shutdown (drained from the rings of
+	// abandoned or queue-jumped shards).
+	ShedPackets int64
+}
+
+// Close stops the engine within Config.CloseTimeout. Submitting after Close
+// returns an error; packets from Submit calls racing Close may be silently
+// discarded. Close is idempotent; concurrent and later calls return the
+// first call's report.
+//
+// Shutdown is deadline-bounded and degrades in stages per shard: (1) a stop
+// item is sent in-band on the ordered data ring, so a responsive shard
+// drains everything accepted before Close; (2) if the ring stays full past
+// the deadline's share, the stop jumps the queue via the priority control
+// lane and the ring's remaining bursts are drained unenforced and counted
+// as shed; (3) a shard that still does not exit (wedged in user code) is
+// force-abandoned — Close returns anyway and reports it.
+func (e *Engine) Close() CloseReport {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	t := e.table.Load()
+	if t.closed {
+		return e.closeReport
 	}
 	// Publish the closed snapshot: subsequent datapath and control calls
 	// fail fast without touching the shards.
 	e.table.Store(&registry{closed: true, byID: map[string]Handle{}})
-	close(e.flushStop)
+	close(e.flushStop) // stops the flusher and the watchdog
 	// Flush staged bursts so everything accepted before Close is
-	// enforced, then stop each shard in-band (FIFO ⇒ full drain).
+	// enforced where the shard is still responsive.
 	for _, s := range e.shards {
 		e.flushStaged(s)
 	}
-	for _, s := range e.shards {
-		s.in <- item{stop: true}
+	deadline := time.Now().Add(e.cfg.CloseTimeout)
+	type result struct {
+		exited bool
+		jumped bool
+		shed   int64
 	}
-	e.mu.Unlock()
-	e.wg.Wait()
+	results := make([]result, len(e.shards))
+	var wg sync.WaitGroup
+	for i, s := range e.shards {
+		wg.Add(1)
+		go func(i int, s *shard) {
+			defer wg.Done()
+			r := &results[i]
+			delivered := sendUntil(s.in, item{stop: true}, deadline)
+			if !delivered {
+				// Ring saturated: jump the queue on the control lane.
+				r.jumped = true
+				delivered = sendUntil(s.ctrl, item{stop: true}, deadline)
+			}
+			if delivered {
+				r.exited = waitUntil(s.done, deadline)
+			}
+			if !r.exited || r.jumped {
+				// The shard will not (or did not) drain its ring:
+				// reclaim what is queued and count it as shed.
+				r.shed = e.drainRing(s)
+			}
+		}(i, s)
+	}
+	wg.Wait()
+	rep := CloseReport{Clean: true}
+	for _, r := range results {
+		if !r.exited {
+			rep.AbandonedShards++
+		}
+		if !r.exited || r.jumped {
+			rep.Clean = false
+		}
+		rep.ShedPackets += r.shed
+	}
+	e.closeReport = rep
 	close(e.dead)
+	return rep
+}
+
+// drainRing empties a shard's data ring without enforcing: bursts are
+// counted as shed and pooled; control items are discarded un-run (their
+// waiters are released by e.dead with an engine-closed error, never a
+// false completion). Safe to run concurrently with a zombie consumer —
+// both are channel receivers.
+func (e *Engine) drainRing(s *shard) int64 {
+	var pkts int64
+	for {
+		select {
+		case it := <-s.in:
+			if it.b != nil {
+				pkts += int64(len(it.b.pkts))
+				s.shed.Add(int64(len(it.b.pkts)))
+				e.putBurst(it.b)
+			}
+		default:
+			return pkts
+		}
+	}
+}
+
+// sendUntil offers it to ch until deadline; false means the deadline hit.
+func sendUntil(ch chan item, it item, deadline time.Time) bool {
+	select {
+	case ch <- it:
+		return true
+	default:
+	}
+	d := time.Until(deadline)
+	if d <= 0 {
+		return false
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case ch <- it:
+		return true
+	case <-t.C:
+		return false
+	}
+}
+
+// waitUntil waits for ch to close until deadline; false means the deadline
+// hit first.
+func waitUntil(ch chan struct{}, deadline time.Time) bool {
+	select {
+	case <-ch:
+		return true
+	default:
+	}
+	d := time.Until(deadline)
+	if d <= 0 {
+		return false
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ch:
+		return true
+	case <-t.C:
+		return false
+	}
 }

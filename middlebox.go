@@ -48,6 +48,47 @@ type EmitFunc = mbox.Emit
 // NewMiddlebox starts a middlebox engine.
 func NewMiddlebox(cfg MiddleboxConfig) *Middlebox { return mbox.New(cfg) }
 
+// DegradeMode selects what a middlebox does with traffic belonging to a
+// quarantined (crash-looping) aggregate: FailClosed drops it (the safe
+// default for a rate enforcer), FailOpen transmits it unenforced. Both
+// count every affected packet.
+type DegradeMode = mbox.DegradeMode
+
+// Degrade modes for quarantined aggregates.
+const (
+	FailClosed = mbox.FailClosed
+	FailOpen   = mbox.FailOpen
+)
+
+// ShardState classifies a middlebox shard's health: Healthy, Degraded
+// (recent faults, shedding, or a near-full queue), or Wedged (has work but
+// its goroutine has not made progress within the wedge timeout).
+type ShardState = mbox.ShardState
+
+// Shard health states reported by Middlebox.Health.
+const (
+	ShardHealthy  = mbox.ShardHealthy
+	ShardDegraded = mbox.ShardDegraded
+	ShardWedged   = mbox.ShardWedged
+)
+
+// MiddleboxHealth is a point-in-time health snapshot of the whole engine:
+// per-shard states plus engine-wide fault counters.
+type MiddleboxHealth = mbox.Health
+
+// ShardHealth is one shard's entry in a MiddleboxHealth snapshot.
+type ShardHealth = mbox.ShardHealth
+
+// AggregateFaults reports one aggregate's fault record: panics observed,
+// quarantine state, and packets dropped or passed unenforced while
+// degraded.
+type AggregateFaults = mbox.FaultRecord
+
+// MiddleboxCloseReport summarizes a deadline-bounded Middlebox.Close:
+// whether shutdown was clean, how many wedged shards were force-abandoned,
+// and how many queued packets were shed in the process.
+type MiddleboxCloseReport = mbox.CloseReport
+
 // BatchSubmitter is the burst-oriented enforcement capability: all
 // enforcers in this module (PQP/BC-PQP, Policer, FairPolicer, Cascade)
 // implement it natively, amortizing clock handling, lazy drains, token
