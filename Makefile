@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet staticcheck race chaos fuzz-smoke bench verify
+.PHONY: all build test vet staticcheck govulncheck race chaos fuzz-smoke bench verify
 
 all: verify
 
@@ -25,6 +25,16 @@ staticcheck:
 		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
 	fi
 
+# Known-vulnerability scan of the module and its (stdlib) call graph. Like
+# staticcheck, it is gated on the binary being present so offline/airgapped
+# builds are not blocked; CI installs it.
+govulncheck:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"; \
+	fi
+
 # Chaos gate: the seeded fault-injection suite (panic isolation,
 # quarantine, watchdog, deadline-bounded Close) repeated under the race
 # detector. Seeded draws make every repetition identical, so -count=3
@@ -45,6 +55,6 @@ fuzz-smoke:
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' ./...
 
-# The gate CI runs: build + vet + staticcheck + race-enabled tests +
-# chaos suite + fuzz smoke.
-verify: build vet staticcheck race chaos fuzz-smoke
+# The gate CI runs: build + vet + staticcheck + govulncheck +
+# race-enabled tests + chaos suite + fuzz smoke.
+verify: build vet staticcheck govulncheck race chaos fuzz-smoke

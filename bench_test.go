@@ -361,6 +361,57 @@ func BenchmarkMiddleboxDegradedBatch(b *testing.B) {
 	b.ReportMetric(pps, "pkts/sec")
 }
 
+// BenchmarkMiddleboxChurn measures the aggregate lifecycle: one iteration
+// is one full Add (with a fresh BC-PQP enforcer), one burst of traffic, and
+// one Remove with its final-stats drain barrier. The registry is
+// copy-on-write, so this is the control-plane cost subscribers pay to come
+// and go while the datapath keeps running — and thanks to slot recycling it
+// runs in bounded memory at any iteration count.
+func BenchmarkMiddleboxChurn(b *testing.B) {
+	eng, handles := benchEngine(b, 16) // background population
+	defer eng.Close()
+	var burst [DefaultBurst]Packet
+	for i := range burst {
+		burst[i] = Packet{Key: FlowKey{SrcIP: 1, Proto: 6}, Size: MSS, Class: i & 15}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		enf, err := NewBCPQP(BCPQPConfig{Rate: 20 * Mbps, Queues: 16})
+		if err != nil {
+			b.Fatal(err)
+		}
+		h, err := eng.Add("churn", enf, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := eng.SubmitBatch(h, burst[:]); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := eng.Remove("churn"); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	_ = handles
+}
+
+// BenchmarkMiddleboxSetRate measures one in-band hot reconfiguration: the
+// cost of a subscriber's rate-plan change applied on the shard ring while
+// the engine is live (barrier round-trip plus the enforcer's in-place
+// settle-and-retarget).
+func BenchmarkMiddleboxSetRate(b *testing.B) {
+	eng, _ := benchEngine(b, 16)
+	defer eng.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := eng.SetRate("agg-0", Rate(10+i%10)*Mbps); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // Per-figure regeneration benches: each iteration regenerates the figure at
 // quick scale, so `go test -bench Fig` reproduces every result under the
 // standard Go benchmark harness.

@@ -16,6 +16,16 @@
 // fair share, one greedy) over loopback for a few seconds and reports the
 // goodput each flow achieved through the enforcer.
 //
+// The proxy is a well-behaved middlebox process:
+//
+//   - SIGTERM/SIGINT drain gracefully: in-flight bursts are enforced, the
+//     engine's deadline-bounded Close runs (-drain-timeout), its report is
+//     logged, and the exit status is nonzero if the shutdown was unclean.
+//   - SIGHUP writes a warm-restart snapshot to the -snapshot path
+//     (atomic temp-file + rename); at startup an existing snapshot there
+//     is restored, so a restarted proxy resumes with the enforcement state
+//     (phantom occupancy, burst windows, token levels) it had.
+//
 // Bufferless schemes only (policer, policer+, fairpolicer, pqp, bc-pqp):
 // a relay cannot hold datagrams the way a shaper holds packets.
 package main
@@ -26,6 +36,7 @@ import (
 	"fmt"
 	"net"
 	"os"
+	"os/signal"
 	"sync/atomic"
 	"syscall"
 	"time"
@@ -40,6 +51,8 @@ func main() {
 		rateMbps = flag.Float64("rate", 5, "enforced rate in Mbps")
 		scheme   = flag.String("scheme", "bc-pqp", "enforcement scheme (policer|policer+|fairpolicer|pqp|bc-pqp)")
 		queues   = flag.Int("queues", 16, "phantom queues / flow buckets")
+		snapPath = flag.String("snapshot", "", "warm-restart snapshot file: restored at startup if present, written on SIGHUP")
+		drain    = flag.Duration("drain-timeout", 5*time.Second, "graceful-shutdown drain deadline on SIGTERM/SIGINT")
 		selftest = flag.Bool("selftest", false, "run the loopback demonstration and exit")
 		duration = flag.Duration("selftest-duration", 5*time.Second, "selftest run length")
 	)
@@ -64,10 +77,213 @@ func main() {
 		os.Exit(1)
 	}
 	defer in.Close()
-	if err := relay(in, *forward, enf, nil); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+	sigc := make(chan os.Signal, 4)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM, syscall.SIGHUP)
+	os.Exit(serve(in, *forward, enf, proxyOpts{
+		snapshotPath: *snapPath,
+		drainTimeout: *drain,
+		sig:          sigc,
+	}))
+}
+
+// proxyAggregate is the id the proxy registers its single enforcer under on
+// the middlebox engine; snapshots key on it, so a restarted proxy restores
+// into the same id.
+const proxyAggregate = "proxy"
+
+// proxyOpts parameterizes serve. sig delivers shutdown and snapshot
+// requests; in production it is a signal.Notify channel, in tests a plain
+// channel fed directly.
+type proxyOpts struct {
+	snapshotPath string
+	drainTimeout time.Duration
+	sig          <-chan os.Signal
+}
+
+// serve runs the engine-hosted datapath until SIGTERM/SIGINT, then drains
+// gracefully: the middlebox Close is deadline-bounded (drainTimeout), its
+// CloseReport is logged, and the exit code is nonzero when the shutdown was
+// unclean (wedged shards abandoned or queued packets shed). SIGHUP writes a
+// warm-restart snapshot to snapshotPath (temp file + atomic rename); at
+// startup an existing snapshot at that path is restored, so a restarted
+// proxy resumes enforcement with the phantom occupancy, burst-control
+// windows and token levels it had — instead of re-admitting a burst storm
+// from every subscriber at once.
+func serve(in net.PacketConn, forward string, enf bcpqp.Enforcer, opts proxyOpts) int {
+	dst, err := net.ResolveUDPAddr("udp", forward)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bcpqp-proxy:", err)
+		return 1
 	}
+	out, err := net.DialUDP("udp", nil, dst)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bcpqp-proxy:", err)
+		return 1
+	}
+	defer out.Close()
+
+	var writeDropped, writeErrs atomic.Int64
+	mb := bcpqp.NewMiddlebox(bcpqp.MiddleboxConfig{CloseTimeout: opts.drainTimeout})
+	h, err := mb.Add(proxyAggregate, enf, func(p bcpqp.Packet) {
+		if err := writeTransient(out, p.Payload); err != nil {
+			writeDropped.Add(1)
+			if n := writeErrs.Add(1); n == 1 || n%1024 == 0 {
+				fmt.Fprintf(os.Stderr, "bcpqp-proxy: transient write error (%d so far, dropping): %v\n", n, err)
+			}
+		}
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bcpqp-proxy:", err)
+		return 1
+	}
+
+	if opts.snapshotPath != "" {
+		switch err := restoreSnapshot(mb, opts.snapshotPath); {
+		case err == nil:
+			fmt.Fprintf(os.Stderr, "bcpqp-proxy: warm restart from %s\n", opts.snapshotPath)
+		case os.IsNotExist(err):
+			// First start: nothing to restore.
+		default:
+			// A stale or incompatible snapshot must not block startup:
+			// log and start cold.
+			fmt.Fprintf(os.Stderr, "bcpqp-proxy: snapshot restore failed, starting cold: %v\n", err)
+		}
+	}
+
+	var stopping atomic.Bool
+	sigDone := make(chan struct{})
+	go func() {
+		defer close(sigDone)
+		for s := range opts.sig {
+			switch s {
+			case syscall.SIGHUP:
+				if opts.snapshotPath == "" {
+					fmt.Fprintln(os.Stderr, "bcpqp-proxy: SIGHUP ignored (no -snapshot path)")
+					continue
+				}
+				if err := writeSnapshot(mb, opts.snapshotPath); err != nil {
+					fmt.Fprintf(os.Stderr, "bcpqp-proxy: snapshot failed: %v\n", err)
+				} else {
+					fmt.Fprintf(os.Stderr, "bcpqp-proxy: snapshot written to %s\n", opts.snapshotPath)
+				}
+			default: // SIGTERM, SIGINT
+				fmt.Fprintf(os.Stderr, "bcpqp-proxy: %v: draining\n", s)
+				stopping.Store(true)
+				return
+			}
+		}
+	}()
+
+	fmt.Fprintf(os.Stderr, "bcpqp-proxy: %s -> %s (engine datapath)\n", in.LocalAddr(), dst)
+	var (
+		bufs [bcpqp.DefaultBurst][]byte
+		pkts [bcpqp.DefaultBurst]bcpqp.Packet
+	)
+	for i := range bufs {
+		bufs[i] = make([]byte, 65536)
+	}
+	readErr := func(err error) bool { // true = fatal
+		var ne net.Error
+		return !(errors.As(err, &ne) && ne.Timeout())
+	}
+	exit := 0
+	for !stopping.Load() {
+		// First datagram of the burst: block briefly, then re-check the
+		// stop flag so a signal is honoured within ~100ms even when idle.
+		if err := in.SetReadDeadline(time.Now().Add(100 * time.Millisecond)); err != nil {
+			fmt.Fprintln(os.Stderr, "bcpqp-proxy: set read deadline:", err)
+			exit = 1
+			break
+		}
+		n, from, err := in.ReadFrom(bufs[0])
+		if err != nil {
+			if readErr(err) {
+				fmt.Fprintln(os.Stderr, "bcpqp-proxy: read:", err)
+				exit = 1
+				break
+			}
+			continue
+		}
+		// Each datagram's payload is copied out of the reusable read
+		// buffer: the engine enforces asynchronously and the emit hook
+		// relays from Packet.Payload.
+		pkts[0] = bcpqp.Packet{
+			Key:     keyFor(from),
+			Size:    n,
+			Class:   bcpqp.NoClass,
+			Payload: append([]byte(nil), bufs[0][:n]...),
+		}
+		count := 1
+		for count < len(bufs) {
+			if err := in.SetReadDeadline(time.Now().Add(drainDeadline)); err != nil {
+				break
+			}
+			n, from, err = in.ReadFrom(bufs[count])
+			if err != nil {
+				break
+			}
+			pkts[count] = bcpqp.Packet{
+				Key:     keyFor(from),
+				Size:    n,
+				Class:   bcpqp.NoClass,
+				Payload: append([]byte(nil), bufs[count][:n]...),
+			}
+			count++
+		}
+		if err := mb.SubmitBatch(h, pkts[:count]); err != nil {
+			fmt.Fprintln(os.Stderr, "bcpqp-proxy: submit:", err)
+			exit = 1
+			break
+		}
+	}
+
+	// Graceful drain: Remove's final-stats barrier enforces every burst
+	// submitted above, then the deadline-bounded Close stops the shards.
+	final, statErr := mb.Remove(proxyAggregate)
+	rep := mb.Close()
+	if statErr == nil {
+		fmt.Fprintf(os.Stderr, "bcpqp-proxy: final stats: accepted %d (%d bytes), dropped %d, write-dropped %d\n",
+			final.AcceptedPackets, final.AcceptedBytes, final.DroppedPackets, writeDropped.Load())
+	}
+	fmt.Fprintf(os.Stderr, "bcpqp-proxy: close report: clean=%v abandoned-shards=%d shed-packets=%d\n",
+		rep.Clean, rep.AbandonedShards, rep.ShedPackets)
+	if !rep.Clean {
+		exit = 1
+	}
+	return exit
+}
+
+// writeSnapshot captures a warm-restart image of the engine and persists it
+// atomically: temp file in the same directory, then rename, so a crash
+// mid-write can never corrupt the previous snapshot.
+func writeSnapshot(mb *bcpqp.Middlebox, path string) error {
+	snap, err := mb.Snapshot()
+	if err != nil {
+		return err
+	}
+	blob, err := snap.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, blob, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// restoreSnapshot loads a snapshot file into the engine. The error is
+// os.IsNotExist-compatible when no snapshot exists yet.
+func restoreSnapshot(mb *bcpqp.Middlebox, path string) error {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var snap bcpqp.MiddleboxSnapshot
+	if err := snap.UnmarshalBinary(blob); err != nil {
+		return err
+	}
+	return mb.Restore(&snap)
 }
 
 // buildEnforcer constructs a bufferless enforcer for live traffic.

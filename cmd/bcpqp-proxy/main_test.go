@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"os"
 	"sync/atomic"
 	"syscall"
 	"testing"
@@ -146,4 +147,163 @@ func TestRelaySurvivesUnreachableForward(t *testing.T) {
 // mockUDPAddr builds a loopback UDP address for key derivation tests.
 func mockUDPAddr() *net.UDPAddr {
 	return &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1), Port: 4242}
+}
+
+// startServe launches the engine-hosted proxy datapath with a test-fed
+// signal channel and returns the listen address, the signal channel and the
+// exit-code future.
+func startServe(t *testing.T, forward, snapshotPath string) (string, chan os.Signal, chan int) {
+	t.Helper()
+	in, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { in.Close() })
+	enf, err := buildEnforcer("bc-pqp", 50*bcpqp.Mbps, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigc := make(chan os.Signal, 4)
+	code := make(chan int, 1)
+	go func() {
+		code <- serve(in, forward, enf, proxyOpts{
+			snapshotPath: snapshotPath,
+			drainTimeout: 5 * time.Second,
+			sig:          sigc,
+		})
+	}()
+	return in.LocalAddr().String(), sigc, code
+}
+
+// TestServeGracefulDrainAndSnapshot exercises the proxy's full signal
+// protocol over loopback: traffic relays through the engine datapath,
+// SIGHUP persists a decodable warm-restart snapshot, SIGTERM drains
+// gracefully with exit status 0, and a second proxy started on the same
+// snapshot path warm-restarts from it.
+func TestServeGracefulDrainAndSnapshot(t *testing.T) {
+	sink, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sink.Close()
+	var sunk atomic.Int64
+	go func() {
+		buf := make([]byte, 65536)
+		for {
+			n, _, err := sink.ReadFrom(buf)
+			if err != nil {
+				return
+			}
+			sunk.Add(int64(n))
+		}
+	}()
+
+	snapPath := t.TempDir() + "/proxy.snap"
+	addr, sigc, code := startServe(t, sink.LocalAddr().String(), snapPath)
+
+	conn, err := net.Dial("udp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	payload := make([]byte, 600)
+	for i := 0; i < 50; i++ {
+		if _, err := conn.Write(payload); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// SIGHUP: snapshot written, proxy keeps serving.
+	sigc <- syscall.SIGHUP
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err := os.Stat(snapPath); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("SIGHUP produced no snapshot file")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	blob, err := os.ReadFile(snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap bcpqp.MiddleboxSnapshot
+	if err := snap.UnmarshalBinary(blob); err != nil {
+		t.Fatalf("snapshot file does not decode: %v", err)
+	}
+	if len(snap.Aggregates) != 1 || snap.Aggregates[0].ID != proxyAggregate {
+		t.Fatalf("snapshot aggregates = %+v, want one %q entry", snap.Aggregates, proxyAggregate)
+	}
+	select {
+	case c := <-code:
+		t.Fatalf("proxy exited (%d) on SIGHUP", c)
+	default:
+	}
+
+	// SIGTERM: graceful drain, clean exit.
+	sigc <- syscall.SIGTERM
+	select {
+	case c := <-code:
+		if c != 0 {
+			t.Fatalf("graceful drain exited %d, want 0", c)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("proxy did not exit within 10s of SIGTERM")
+	}
+	if sunk.Load() == 0 {
+		t.Error("no traffic reached the sink through the engine datapath")
+	}
+
+	// Warm restart: a fresh proxy on the same path restores the snapshot
+	// and still relays.
+	addr2, sigc2, code2 := startServe(t, sink.LocalAddr().String(), snapPath)
+	conn2, err := net.Dial("udp", addr2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn2.Close()
+	before := sunk.Load()
+	for i := 0; i < 20; i++ {
+		if _, err := conn2.Write(payload); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	relayDeadline := time.Now().Add(5 * time.Second)
+	for sunk.Load() == before && time.Now().Before(relayDeadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if sunk.Load() == before {
+		t.Error("warm-restarted proxy relayed nothing")
+	}
+	sigc2 <- syscall.SIGINT
+	select {
+	case c := <-code2:
+		if c != 0 {
+			t.Fatalf("warm-restarted proxy drain exited %d, want 0", c)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("warm-restarted proxy did not exit within 10s of SIGINT")
+	}
+}
+
+// TestRestoreSnapshotCorruptFile pins startup behaviour on a bad snapshot:
+// restoreSnapshot must reject it (the caller then starts cold) rather than
+// panic or half-restore.
+func TestRestoreSnapshotCorruptFile(t *testing.T) {
+	path := t.TempDir() + "/bad.snap"
+	if err := os.WriteFile(path, []byte("not a snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	mb := bcpqp.NewMiddlebox(bcpqp.MiddleboxConfig{Shards: 1})
+	defer mb.Close()
+	if err := restoreSnapshot(mb, path); err == nil {
+		t.Fatal("corrupt snapshot restored without error")
+	}
+	if err := restoreSnapshot(mb, path+".missing"); !os.IsNotExist(err) {
+		t.Fatalf("missing snapshot: err = %v, want IsNotExist", err)
+	}
 }

@@ -1,0 +1,138 @@
+package cascade
+
+import (
+	"fmt"
+	"time"
+
+	"bcpqp/internal/enforcer"
+	"bcpqp/internal/sched"
+	"bcpqp/internal/units"
+)
+
+// snapVersion is the format version of Cascade snapshot blobs.
+const snapVersion = 1
+
+// SetRate implements enforcer.Reconfigurer by forwarding to stage 0, the
+// outermost level — in the paper's deployments that is the subscriber's own
+// limit, the one a rate-plan change targets. Inner levels (plan tier, link)
+// are shared and keep their configuration; use SetStageRate to retarget a
+// specific level.
+func (c *Cascade) SetRate(now time.Duration, rate units.Rate) error {
+	return c.SetStageRate(now, 0, rate)
+}
+
+// SetPolicy implements enforcer.Reconfigurer by forwarding to stage 0 (see
+// SetRate for why).
+func (c *Cascade) SetPolicy(now time.Duration, policy *sched.Policy) error {
+	return c.SetStagePolicy(now, 0, policy)
+}
+
+// SetStageRate changes the enforced rate of one cascade level in place.
+// The stage must implement enforcer.Reconfigurer.
+func (c *Cascade) SetStageRate(now time.Duration, stage int, rate units.Rate) error {
+	r, err := c.reconfigurer(stage)
+	if err != nil {
+		return err
+	}
+	return r.SetRate(now, rate)
+}
+
+// SetStagePolicy changes the rate-sharing policy of one cascade level in
+// place. The stage must implement enforcer.Reconfigurer; stages without a
+// policy dimension (token buckets) return enforcer.ErrNoPolicy.
+func (c *Cascade) SetStagePolicy(now time.Duration, stage int, policy *sched.Policy) error {
+	r, err := c.reconfigurer(stage)
+	if err != nil {
+		return err
+	}
+	return r.SetPolicy(now, policy)
+}
+
+func (c *Cascade) reconfigurer(stage int) (enforcer.Reconfigurer, error) {
+	if stage < 0 || stage >= len(c.stages) {
+		return nil, fmt.Errorf("cascade: stage %d out of range [0,%d)", stage, len(c.stages))
+	}
+	r, ok := c.stages[stage].(enforcer.Reconfigurer)
+	if !ok {
+		return nil, fmt.Errorf("cascade: stage %d (%T) is not reconfigurable", stage, c.stages[stage])
+	}
+	return r, nil
+}
+
+// SnapshotState implements enforcer.Snapshotter: the cascade's own
+// statistics and per-stage drop attribution, followed by every stage's own
+// blob. All stages must implement enforcer.Snapshotter.
+//
+// Layout: u8 version, stats, u32 stage count, then per stage: i64
+// DroppedAt, length-prefixed stage blob.
+func (c *Cascade) SnapshotState() ([]byte, error) {
+	var e enforcer.Enc
+	e.U8(snapVersion)
+	e.Stats(c.stats)
+	e.U32(uint32(len(c.stages)))
+	for i, s := range c.stages {
+		snap, ok := s.(enforcer.Snapshotter)
+		if !ok {
+			return nil, fmt.Errorf("cascade: stage %d (%T) is not snapshottable", i, s)
+		}
+		blob, err := snap.SnapshotState()
+		if err != nil {
+			return nil, fmt.Errorf("cascade: snapshotting stage %d: %w", i, err)
+		}
+		e.I64(c.DroppedAt[i])
+		e.Bytes(blob)
+	}
+	return e.Out(), nil
+}
+
+// RestoreState implements enforcer.Snapshotter. The receiver must be built
+// over the same stage structure (count, kinds, configurations); each
+// stage's blob is validated by that stage's own RestoreState.
+func (c *Cascade) RestoreState(data []byte) error {
+	d := enforcer.NewDec(data)
+	if v := d.U8(); d.Err() == nil && v != snapVersion {
+		d.Fail("cascade: unsupported snapshot version %d (want %d)", v, snapVersion)
+	}
+	stats := d.Stats()
+	if n := d.U32(); d.Err() == nil && int(n) != len(c.stages) {
+		d.Fail("cascade: snapshot has %d stages, cascade has %d", n, len(c.stages))
+	}
+	if d.Err() != nil {
+		return d.Err()
+	}
+	dropped := make([]int64, len(c.stages))
+	blobs := make([][]byte, len(c.stages))
+	for i := range c.stages {
+		dropped[i] = d.I64()
+		blobs[i] = d.Bytes()
+		if d.Err() == nil && dropped[i] < 0 {
+			d.Fail("cascade: negative drop count for stage %d", i)
+		}
+	}
+	if err := d.Finish(); err != nil {
+		return err
+	}
+	// Check every stage is snapshottable before touching any of them; a
+	// structural mismatch then cannot leave half the cascade restored.
+	// (Per-stage blob errors can still interrupt mid-restore — like every
+	// Snapshotter, a failed RestoreState leaves the receiver discardable.)
+	snaps := make([]enforcer.Snapshotter, len(c.stages))
+	for i, s := range c.stages {
+		snap, ok := s.(enforcer.Snapshotter)
+		if !ok {
+			return fmt.Errorf("cascade: stage %d (%T) is not snapshottable", i, s)
+		}
+		snaps[i] = snap
+	}
+	for i, snap := range snaps {
+		if err := snap.RestoreState(blobs[i]); err != nil {
+			return fmt.Errorf("cascade: restoring stage %d: %w", i, err)
+		}
+	}
+	c.stats = stats
+	copy(c.DroppedAt, dropped)
+	return nil
+}
+
+var _ enforcer.Reconfigurer = (*Cascade)(nil)
+var _ enforcer.Snapshotter = (*Cascade)(nil)

@@ -1,0 +1,58 @@
+package mbox
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzSnapshotDecode hardens the engine snapshot wire format against
+// hostile input: Snapshot.UnmarshalBinary must never panic or allocate
+// proportionally to a lying length prefix, and any blob it accepts must
+// re-encode canonically (marshal → unmarshal is the identity on the
+// decoded value).
+func FuzzSnapshotDecode(f *testing.F) {
+	// Seed with well-formed images of several shapes, so mutation starts
+	// from deep inside the format rather than at the magic check.
+	for _, s := range []*Snapshot{
+		{},
+		{Aggregates: []AggregateSnapshot{{ID: "a", State: []byte{1, 2, 3}}}},
+		{Aggregates: []AggregateSnapshot{
+			{ID: "sub-0", State: bytes.Repeat([]byte{0xab}, 64)},
+			{ID: "sub-1", State: nil},
+			{ID: "", State: []byte{0}},
+		}},
+	} {
+		blob, err := s.MarshalBinary()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(blob)
+	}
+	f.Add([]byte(snapshotMagic))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var s Snapshot
+		if err := s.UnmarshalBinary(data); err != nil {
+			return // rejected is fine; panicking or over-allocating is not
+		}
+		// Accepted input must round-trip exactly.
+		re, err := s.MarshalBinary()
+		if err != nil {
+			t.Fatalf("re-marshal of accepted snapshot failed: %v", err)
+		}
+		var s2 Snapshot
+		if err := s2.UnmarshalBinary(re); err != nil {
+			t.Fatalf("re-decode of own encoding failed: %v", err)
+		}
+		if len(s2.Aggregates) != len(s.Aggregates) {
+			t.Fatalf("round trip changed aggregate count: %d != %d", len(s2.Aggregates), len(s.Aggregates))
+		}
+		for i := range s.Aggregates {
+			if s2.Aggregates[i].ID != s.Aggregates[i].ID ||
+				!bytes.Equal(s2.Aggregates[i].State, s.Aggregates[i].State) {
+				t.Fatalf("round trip changed aggregate %d", i)
+			}
+		}
+	})
+}

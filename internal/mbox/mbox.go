@@ -19,10 +19,22 @@
 // are shed and counted as overload — a middlebox must shed load, not
 // buffer unboundedly.
 //
-// Control operations (stats/flush) are serialized through the same shard
-// goroutines, so they are safe during full-rate traffic; under saturation
-// they fail over to a dedicated control lane so a wedged shard ring cannot
-// stall the control plane behind data traffic.
+// Control operations (stats/flush/live reconfiguration/snapshots) are
+// serialized through the same shard goroutines, so they are safe during
+// full-rate traffic; under saturation they fail over to a dedicated control
+// lane so a wedged shard ring cannot stall the control plane behind data
+// traffic. Update applies rate-plan and policy changes in-band and in
+// place — admission state (phantom occupancy, burst-control windows, token
+// levels) survives the change, preserving the Theorem 1 bound piecewise
+// across it.
+//
+// The aggregate table has a bounded-memory lifecycle: slots freed by
+// Remove are recycled through a free list, handles carry generation tags so
+// a stale handle reports ErrStale rather than ever touching a recycled
+// slot's new occupant, MaxAggregates caps admission with ErrTableFull, and
+// an optional idle-TTL sweeper evicts quiescent aggregates (reporting their
+// final stats through OnEvict). Snapshot/Restore serialize per-aggregate
+// enforcer state for warm restarts.
 //
 // The runtime is fault-tolerant: every enforcement run and control item
 // executes inside a panic barrier, a panicking enforcer is quarantined by a
@@ -44,6 +56,8 @@ import (
 
 	"bcpqp/internal/enforcer"
 	"bcpqp/internal/packet"
+	"bcpqp/internal/sched"
+	"bcpqp/internal/units"
 )
 
 // Emit is called by a shard for every transmitted packet. CE-marked
@@ -53,17 +67,46 @@ import (
 type Emit func(pkt packet.Packet)
 
 // Handle identifies a registered aggregate on the datapath. Handles are
-// resolved once at Add time and are valid until the aggregate is removed;
-// they are never reused within one Engine, so a stale handle can never
-// alias a different aggregate.
-type Handle int32
+// resolved once at Add time and are valid until the aggregate is removed or
+// evicted. A handle packs a table slot (low 32 bits) with a generation tag
+// (high bits): slots ARE recycled — an unbounded Add/Remove churn would
+// otherwise grow the table forever — but each reuse bumps the slot's
+// generation, so a stale handle fails resolution with ErrStale and can
+// never alias the slot's next occupant.
+type Handle int64
 
 // NoHandle is the invalid handle returned alongside errors.
 const NoHandle Handle = -1
 
+// slot and generation packing. Generations are 31 bits (keeping Handle
+// positive) and skip zero, so the zero Handle is never valid.
+const genMask = 0x7fffffff
+
+func (h Handle) slot() int   { return int(uint32(h)) }
+func (h Handle) gen() uint32 { return uint32(uint64(h)>>32) & genMask }
+func packHandle(slot int, gen uint32) Handle {
+	return Handle(uint64(gen)<<32 | uint64(uint32(slot)))
+}
+
 // ErrNoStats reports that an aggregate's enforcer does not implement
 // enforcer.StatsReader. Test with errors.Is.
 var ErrNoStats = errors.New("enforcer exposes no stats")
+
+// ErrStale reports a handle whose aggregate has been removed or evicted.
+// The slot may since have been recycled for a different aggregate; the
+// generation tag guarantees the stale handle never reaches it. Test with
+// errors.Is.
+var ErrStale = errors.New("stale handle")
+
+// ErrTableFull reports that Add was refused because the engine already
+// hosts Config.MaxAggregates aggregates — admission control for the
+// registry itself, so a churn storm degrades to rejected adds instead of
+// unbounded memory growth. Test with errors.Is.
+var ErrTableFull = errors.New("aggregate table full")
+
+// ErrNotReconfigurable reports that an aggregate's enforcer does not
+// implement enforcer.Reconfigurer. Test with errors.Is.
+var ErrNotReconfigurable = errors.New("enforcer is not reconfigurable")
 
 // ErrSaturated reports that a control operation could not reach its shard
 // within ControlTimeout on either the ordered data ring or the priority
@@ -178,6 +221,28 @@ type Config struct {
 	// goroutine: it must be fast, must not block, and must not call back
 	// into the Engine.
 	OnFault func(id string, recovered any, stack []byte)
+
+	// MaxAggregates caps the number of registered aggregates; Add reports
+	// ErrTableFull beyond it. Zero means unlimited. Together with slot
+	// recycling this bounds registry memory under arbitrary churn.
+	MaxAggregates int
+	// IdleTTL, when positive, enables the eviction sweeper: an aggregate
+	// whose datapath has been quiet for longer than this (no bursts
+	// processed, no Update) is evicted as if Removed, counted in Evicted,
+	// and reported through OnEvict. Activity is stamped once per
+	// processed burst on the shard goroutine — no additional per-packet
+	// atomics on the hot path.
+	IdleTTL time.Duration
+	// SweepInterval is how often the sweeper scans for idle aggregates
+	// (default IdleTTL/4, clamped to [1ms, 1s]). Eviction therefore lags
+	// idleness by up to IdleTTL + SweepInterval.
+	SweepInterval time.Duration
+	// OnEvict, when non-nil, observes every idle eviction with the
+	// aggregate's id and final enforcement statistics (zero Stats when
+	// the enforcer exposes none or the shard was saturated). It runs on
+	// the sweeper goroutine, after the aggregate has been unpublished and
+	// its queued bursts drained; it must not block for long.
+	OnEvict func(id string, final enforcer.Stats)
 }
 
 // Engine hosts many enforcers behind a concurrent burst-submit API.
@@ -203,12 +268,21 @@ type Engine struct {
 	// ControlFailovers counts control operations that failed over from
 	// the ordered data ring to the priority control lane.
 	ControlFailovers atomic.Int64
+	// Evicted counts aggregates removed by the idle-TTL sweeper.
+	Evicted atomic.Int64
 
 	// table is the copy-on-write registry snapshot the datapath reads
 	// lock-free. Writers (Add/Remove/Close) serialize on mu and publish
 	// whole new snapshots.
 	table atomic.Pointer[registry]
 	mu    sync.Mutex
+
+	// Slot lifecycle, guarded by mu. slotGen[s] is the generation of the
+	// aggregate currently (or most recently) occupying slot s; freeSlots
+	// holds recyclable slots. len(slotGen) is the table's high-water mark
+	// and, with MaxAggregates set, is bounded by it.
+	slotGen   []uint32
+	freeSlots []int
 
 	pool        sync.Pool // *burst
 	flushStop   chan struct{}
@@ -219,7 +293,7 @@ type Engine struct {
 // registry is one immutable snapshot of the aggregate table.
 type registry struct {
 	closed bool
-	slots  []*aggregate      // indexed by Handle; nil = removed
+	slots  []*aggregate      // indexed by Handle.slot(); nil = vacant
 	byID   map[string]Handle // compatibility shim for string-keyed lookup
 }
 
@@ -240,6 +314,13 @@ type aggregate struct {
 	degradedDrops  atomic.Int64
 	degradedPasses atomic.Int64
 	mode           atomic.Int32 // DegradeMode
+
+	// lastActive is the idle-TTL activity stamp (wall nanos): set at Add,
+	// once per processed burst on the shard goroutine (reusing the wall
+	// clock read already taken for the shard heartbeat — no extra clock
+	// call and no per-packet atomics), and on Update. The sweeper evicts
+	// aggregates whose stamp is older than IdleTTL.
+	lastActive atomic.Int64
 }
 
 // burst is one ring slot of work: either a single-aggregate burst (agg set,
@@ -319,6 +400,15 @@ func New(cfg Config) *Engine {
 	if cfg.WedgeTimeout <= 0 {
 		cfg.WedgeTimeout = time.Second
 	}
+	if cfg.IdleTTL > 0 && cfg.SweepInterval <= 0 {
+		cfg.SweepInterval = cfg.IdleTTL / 4
+		if cfg.SweepInterval < time.Millisecond {
+			cfg.SweepInterval = time.Millisecond
+		}
+		if cfg.SweepInterval > time.Second {
+			cfg.SweepInterval = time.Second
+		}
+	}
 	e := &Engine{
 		cfg:       cfg,
 		flushStop: make(chan struct{}),
@@ -346,6 +436,9 @@ func New(cfg Config) *Engine {
 	}
 	go e.flusher()
 	go e.watchdog()
+	if cfg.IdleTTL > 0 {
+		go e.sweeper()
+	}
 	return e
 }
 
@@ -376,7 +469,8 @@ func (e *Engine) process(s *shard, it item) bool {
 		return true
 	}
 	s.busy.Store(true)
-	s.heartbeat.Store(time.Now().UnixNano())
+	wall := time.Now().UnixNano()
+	s.heartbeat.Store(wall)
 	defer func() {
 		s.processed.Add(1)
 		s.heartbeat.Store(time.Now().UnixNano())
@@ -392,6 +486,7 @@ func (e *Engine) process(s *shard, it item) bool {
 	// burst-polling middlebox actually observes.
 	now := e.cfg.Clock()
 	if b.agg != nil {
+		b.agg.lastActive.Store(wall)
 		e.runBatch(s, now, b.agg, b.pkts)
 	} else {
 		// Mixed coalesced burst: group consecutive same-aggregate runs
@@ -401,6 +496,9 @@ func (e *Engine) process(s *shard, it item) bool {
 			for j < len(b.pkts) && b.aggs[j] == b.aggs[i] {
 				j++
 			}
+			// One coarse idle-TTL stamp per run, reusing the wall time
+			// already read for the heartbeat: no per-packet atomics.
+			b.aggs[i].lastActive.Store(wall)
 			e.runBatch(s, now, b.aggs[i], b.pkts[i:j])
 			i = j
 		}
@@ -621,6 +719,11 @@ func (e *Engine) shardFor(id string) *shard {
 // handle. The engine takes exclusive ownership of the enforcer: callers
 // must not touch it afterwards (it runs on a shard goroutine). emit
 // receives transmitted packets and may be nil.
+//
+// Slots freed by Remove or eviction are recycled (the table never grows
+// past its high-water mark, itself capped by Config.MaxAggregates), with a
+// fresh generation tag so handles to the slot's previous occupant fail with
+// ErrStale. When the table is at MaxAggregates, Add reports ErrTableFull.
 func (e *Engine) Add(id string, enf enforcer.Enforcer, emit Emit) (Handle, error) {
 	if enf == nil {
 		return NoHandle, fmt.Errorf("mbox: nil enforcer for %q", id)
@@ -634,11 +737,34 @@ func (e *Engine) Add(id string, enf enforcer.Enforcer, emit Emit) (Handle, error
 	if _, dup := t.byID[id]; dup {
 		return NoHandle, fmt.Errorf("mbox: aggregate %q already registered", id)
 	}
-	h := Handle(len(t.slots))
+	if e.cfg.MaxAggregates > 0 && len(t.byID) >= e.cfg.MaxAggregates {
+		return NoHandle, fmt.Errorf("mbox: aggregate %q: %w (%d registered)",
+			id, ErrTableFull, len(t.byID))
+	}
+	// Pick a slot: recycle from the free list, else extend the table.
+	var slot int
+	if n := len(e.freeSlots); n > 0 {
+		slot = e.freeSlots[n-1]
+		e.freeSlots = e.freeSlots[:n-1]
+	} else {
+		slot = len(e.slotGen)
+		e.slotGen = append(e.slotGen, 0)
+	}
+	gen := (e.slotGen[slot] + 1) & genMask
+	if gen == 0 {
+		gen = 1
+	}
+	e.slotGen[slot] = gen
+	h := packHandle(slot, gen)
+
 	agg := &aggregate{id: id, h: h, enf: enf, emit: emit, shard: e.shardFor(id)}
 	agg.mode.Store(int32(e.cfg.DegradeMode))
+	agg.lastActive.Store(time.Now().UnixNano())
+	slots := make([]*aggregate, len(e.slotGen))
+	copy(slots, t.slots)
+	slots[slot] = agg
 	nt := &registry{
-		slots: append(append(make([]*aggregate, 0, len(t.slots)+1), t.slots...), agg),
+		slots: slots,
 		byID:  make(map[string]Handle, len(t.byID)+1),
 	}
 	for k, v := range t.byID {
@@ -649,31 +775,84 @@ func (e *Engine) Add(id string, enf enforcer.Enforcer, emit Emit) (Handle, error
 	return h, nil
 }
 
-// Remove unregisters an aggregate. In-flight packets already queued to the
-// shard are still processed (the aggregate's state stays valid until they
-// drain); the aggregate's handle becomes invalid for new submissions and is
-// never reused.
-func (e *Engine) Remove(id string) error {
+// Remove unregisters an aggregate and returns its final enforcement
+// statistics, so accounting is not silently lost at teardown.
+//
+// Drain semantics: unpublication is immediate — new Submits fail with
+// ErrStale — but packets already staged or queued to the shard when Remove
+// is called are still enforced and emitted (the aggregate's state stays
+// valid until its queued bursts drain). The final stats are read through an
+// in-band control barrier after those bursts, so they include every packet
+// submitted happens-before the Remove call; packets submitted concurrently
+// with Remove may land on either side.
+//
+// The aggregate is removed even when the stats read fails: a non-nil error
+// (ErrNoStats for an enforcer without a StatsReader, ErrSaturated for a
+// wedged shard, engine closed) qualifies the returned Stats, not the
+// removal — only an unknown id leaves the table unchanged. The freed slot
+// is recycled with a new generation, so the old handle reports ErrStale
+// forever.
+func (e *Engine) Remove(id string) (enforcer.Stats, error) {
+	agg, err := e.unpublish(id, nil)
+	if err != nil {
+		return enforcer.Stats{}, err
+	}
+	return e.finalStats(agg)
+}
+
+// unpublish removes id from the registry (when cond, if non-nil, approves
+// the currently registered aggregate) and recycles its slot. It returns the
+// unpublished aggregate.
+func (e *Engine) unpublish(id string, cond func(*aggregate) bool) (*aggregate, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	t := e.table.Load()
+	if t.closed {
+		return nil, fmt.Errorf("mbox: engine closed")
+	}
 	h, ok := t.byID[id]
 	if !ok {
-		return fmt.Errorf("mbox: unknown aggregate %q", id)
+		return nil, fmt.Errorf("mbox: unknown aggregate %q", id)
+	}
+	agg := t.slots[h.slot()]
+	if cond != nil && !cond(agg) {
+		return nil, errEvictSkipped
 	}
 	nt := &registry{
-		closed: t.closed,
-		slots:  append(make([]*aggregate, 0, len(t.slots)), t.slots...),
-		byID:   make(map[string]Handle, len(t.byID)),
+		slots: append(make([]*aggregate, 0, len(t.slots)), t.slots...),
+		byID:  make(map[string]Handle, len(t.byID)),
 	}
 	for k, v := range t.byID {
 		if k != id {
 			nt.byID[k] = v
 		}
 	}
-	nt.slots[h] = nil
+	nt.slots[h.slot()] = nil
 	e.table.Store(nt)
-	return nil
+	e.freeSlots = append(e.freeSlots, h.slot())
+	return agg, nil
+}
+
+// errEvictSkipped is unpublish's internal "condition declined" signal.
+var errEvictSkipped = errors.New("mbox: eviction condition not met")
+
+// finalStats reads an unpublished aggregate's statistics through an in-band
+// control barrier on its shard, so every burst queued before unpublication
+// has been enforced first.
+func (e *Engine) finalStats(agg *aggregate) (enforcer.Stats, error) {
+	var out enforcer.Stats
+	var statErr error
+	err := e.controlAgg(agg, func(enf enforcer.Enforcer) {
+		if sr, ok := enf.(enforcer.StatsReader); ok {
+			out = sr.EnforcerStats()
+		} else {
+			statErr = fmt.Errorf("mbox: aggregate %q: %w", agg.id, ErrNoStats)
+		}
+	})
+	if err != nil {
+		return out, err
+	}
+	return out, statErr
 }
 
 // Lookup resolves an aggregate ID to its datapath handle.
@@ -691,19 +870,23 @@ func (e *Engine) Len() int {
 	return len(e.table.Load().byID)
 }
 
-// resolve is the datapath handle check: a lock-free snapshot read plus a
-// bounds/liveness check.
+// resolve is the datapath handle check: a lock-free snapshot read, a
+// bounds check, and a generation comparison. The generation comparison is
+// what makes slot recycling safe: a handle to a removed aggregate whose
+// slot now hosts a different one mismatches the occupant's generation and
+// reports ErrStale — a stale handle can observe an error, never another
+// aggregate's verdict.
 func (e *Engine) resolve(h Handle) (*aggregate, error) {
 	t := e.table.Load()
 	if t.closed {
 		return nil, fmt.Errorf("mbox: engine closed")
 	}
-	if h < 0 || int(h) >= len(t.slots) {
+	if h < 0 || h.slot() >= len(t.slots) {
 		return nil, fmt.Errorf("mbox: invalid handle %d", h)
 	}
-	agg := t.slots[h]
-	if agg == nil {
-		return nil, fmt.Errorf("mbox: handle %d: aggregate removed", h)
+	agg := t.slots[h.slot()]
+	if agg == nil || agg.h != h {
+		return nil, fmt.Errorf("mbox: handle %d: %w", h, ErrStale)
 	}
 	return agg, nil
 }
@@ -809,6 +992,17 @@ func (e *Engine) Flush(id string, fn func(enf enforcer.Enforcer)) error {
 }
 
 // control runs fn on the aggregate's shard goroutine and waits for it.
+func (e *Engine) control(id string, fn func(enforcer.Enforcer)) error {
+	agg, err := e.aggByID(id)
+	if err != nil {
+		return err
+	}
+	return e.controlAgg(agg, fn)
+}
+
+// controlAgg runs fn for an already-resolved aggregate on its shard
+// goroutine and waits for it. It works on unpublished aggregates too, which
+// is how Remove and the eviction sweeper collect final statistics.
 //
 // The shard's pending coalesced burst is flushed first and the control
 // item rides the ordered data ring, so fn observes every packet submitted
@@ -817,11 +1011,7 @@ func (e *Engine) Flush(id string, fn func(enf enforcer.Enforcer)) error {
 // dedicated control lane — jumping ahead of queued data is the price of
 // not letting data traffic stall the control plane; if even the lane is
 // full past the timeout, ErrSaturated is reported.
-func (e *Engine) control(id string, fn func(enforcer.Enforcer)) error {
-	agg, err := e.aggByID(id)
-	if err != nil {
-		return err
-	}
+func (e *Engine) controlAgg(agg *aggregate, fn func(enforcer.Enforcer)) error {
 	s := agg.shard
 	e.flushStaged(s)
 	done := make(chan struct{})
@@ -839,7 +1029,7 @@ func (e *Engine) control(id string, fn func(enforcer.Enforcer)) error {
 		case s.ctrl <- it:
 			timer.Stop()
 		case <-timer.C:
-			return fmt.Errorf("mbox: aggregate %q: %w", id, ErrSaturated)
+			return fmt.Errorf("mbox: aggregate %q: %w", agg.id, ErrSaturated)
 		}
 	}
 	select {
@@ -857,6 +1047,113 @@ func (e *Engine) control(id string, fn func(enforcer.Enforcer)) error {
 	}
 }
 
+// Update applies a live reconfiguration to an aggregate's enforcer, in
+// place and in-band: fn runs on the owning shard goroutine with the
+// engine's clock read there, serialized against the aggregate's bursts on
+// the ordered ring. A concurrently running batch therefore never observes a
+// partially applied configuration, fn observes every packet submitted
+// before the call, and — because enforcers reconfigure in place (see
+// enforcer.Reconfigurer) — admission state survives: no phantom occupancy
+// reset, no refilled token bucket, no re-admitted slow-start burst. The
+// Theorem 1 bound holds piecewise across the change.
+//
+// fn's error is reported but does not retract anything fn already mutated;
+// enforcer Reconfigurers validate before mutating. Like all control
+// operations, Update fails over to the priority control lane against a
+// saturated shard and then reports ErrSaturated.
+func (e *Engine) Update(id string, fn func(now time.Duration, enf enforcer.Enforcer) error) error {
+	agg, err := e.aggByID(id)
+	if err != nil {
+		return err
+	}
+	// A reconfiguration is activity: a subscriber changing their rate
+	// plan mid-quiet-period should not be evicted under them.
+	agg.lastActive.Store(time.Now().UnixNano())
+	var uerr error
+	if cerr := e.controlAgg(agg, func(enf enforcer.Enforcer) {
+		uerr = fn(e.cfg.Clock(), enf)
+	}); cerr != nil {
+		return cerr
+	}
+	return uerr
+}
+
+// SetRate changes an aggregate's enforced rate in-band, preserving its
+// admission state (see Update). The enforcer must implement
+// enforcer.Reconfigurer; ErrNotReconfigurable otherwise.
+func (e *Engine) SetRate(id string, rate units.Rate) error {
+	return e.Update(id, func(now time.Duration, enf enforcer.Enforcer) error {
+		r, ok := enf.(enforcer.Reconfigurer)
+		if !ok {
+			return fmt.Errorf("mbox: aggregate %q (%T): %w", id, enf, ErrNotReconfigurable)
+		}
+		return r.SetRate(now, rate)
+	})
+}
+
+// SetPolicy changes an aggregate's intra-aggregate rate-sharing policy
+// in-band, preserving its admission state (see Update). The engine takes
+// ownership of the policy object. The enforcer must implement
+// enforcer.Reconfigurer; enforcers without a policy dimension report
+// enforcer.ErrNoPolicy.
+func (e *Engine) SetPolicy(id string, policy *sched.Policy) error {
+	return e.Update(id, func(now time.Duration, enf enforcer.Enforcer) error {
+		r, ok := enf.(enforcer.Reconfigurer)
+		if !ok {
+			return fmt.Errorf("mbox: aggregate %q (%T): %w", id, enf, ErrNotReconfigurable)
+		}
+		return r.SetPolicy(now, policy)
+	})
+}
+
+// sweeper is the idle-TTL eviction loop: every SweepInterval it scans the
+// registry snapshot for aggregates whose last activity stamp is older than
+// IdleTTL and evicts them exactly as Remove would (unpublish, recycle the
+// slot, drain queued bursts through the final-stats barrier), counting them
+// in Evicted and reporting id + final stats through OnEvict. The idle check
+// is re-verified under mu against the registered aggregate, so a sweep
+// racing a Remove+Add of the same id never evicts the fresh incarnation.
+func (e *Engine) sweeper() {
+	t := time.NewTicker(e.cfg.SweepInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-e.flushStop:
+			return
+		case <-t.C:
+			e.sweep()
+		}
+	}
+}
+
+// sweep performs one eviction scan.
+func (e *Engine) sweep() {
+	t := e.table.Load()
+	if t.closed {
+		return
+	}
+	ttl := int64(e.cfg.IdleTTL)
+	for _, agg := range t.slots {
+		if agg == nil {
+			continue
+		}
+		if time.Now().UnixNano()-agg.lastActive.Load() <= ttl {
+			continue
+		}
+		evicted, err := e.unpublish(agg.id, func(cur *aggregate) bool {
+			return cur == agg && time.Now().UnixNano()-cur.lastActive.Load() > ttl
+		})
+		if err != nil {
+			continue // removed/re-added/woke up concurrently, or engine closed
+		}
+		final, _ := e.finalStats(evicted) // zero Stats when unobtainable
+		e.Evicted.Add(1)
+		if e.cfg.OnEvict != nil {
+			e.cfg.OnEvict(evicted.id, final)
+		}
+	}
+}
+
 // aggByID resolves a live aggregate from the current registry snapshot.
 func (e *Engine) aggByID(id string) (*aggregate, error) {
 	t := e.table.Load()
@@ -867,8 +1164,8 @@ func (e *Engine) aggByID(id string) (*aggregate, error) {
 	if !ok {
 		return nil, fmt.Errorf("mbox: unknown aggregate %q", id)
 	}
-	agg := t.slots[h]
-	if agg == nil {
+	agg := t.slots[h.slot()]
+	if agg == nil || agg.h != h {
 		return nil, fmt.Errorf("mbox: unknown aggregate %q", id)
 	}
 	return agg, nil

@@ -56,17 +56,17 @@ func TestAddRemove(t *testing.T) {
 	if got, err := e.Lookup("a"); err != nil || got != h {
 		t.Errorf("Lookup(a) = %v, %v; want %v", got, err, h)
 	}
-	if err := e.Remove("a"); err != nil {
+	if _, err := e.Remove("a"); err != nil {
 		t.Fatal(err)
 	}
-	if err := e.Remove("a"); err == nil {
+	if _, err := e.Remove("a"); err == nil {
 		t.Error("double remove accepted")
 	}
-	if err := e.Submit(h, pkt(0)); err == nil {
-		t.Error("submit to removed aggregate accepted")
+	if err := e.Submit(h, pkt(0)); !errors.Is(err, ErrStale) {
+		t.Errorf("submit to removed aggregate: err = %v, want ErrStale", err)
 	}
-	if err := e.SubmitBatch(h, []packet.Packet{pkt(0)}); err == nil {
-		t.Error("batch submit to removed aggregate accepted")
+	if err := e.SubmitBatch(h, []packet.Packet{pkt(0)}); !errors.Is(err, ErrStale) {
+		t.Errorf("batch submit to removed aggregate: err = %v, want ErrStale", err)
 	}
 	if _, err := e.Lookup("a"); err == nil {
 		t.Error("lookup of removed aggregate succeeded")
@@ -80,7 +80,8 @@ func TestAddRemove(t *testing.T) {
 }
 
 // TestHandlesNotReused guards the ABA property: a stale handle must never
-// alias a different aggregate added later.
+// alias a different aggregate added later, even though the table SLOT is
+// recycled — the generation tag is what keeps the handles distinct.
 func TestHandlesNotReused(t *testing.T) {
 	e := New(Config{Shards: 1})
 	defer e.Close()
@@ -88,7 +89,7 @@ func TestHandlesNotReused(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := e.Remove("first"); err != nil {
+	if _, err := e.Remove("first"); err != nil {
 		t.Fatal(err)
 	}
 	h2, err := e.Add("second", tbf.MustNew(units.Mbps, 10*units.MSS), nil)
@@ -98,8 +99,14 @@ func TestHandlesNotReused(t *testing.T) {
 	if h1 == h2 {
 		t.Fatalf("handle %d reused for a different aggregate", h1)
 	}
-	if err := e.Submit(h1, pkt(0)); err == nil {
-		t.Error("stale handle still routes packets")
+	if h1.slot() != h2.slot() {
+		t.Errorf("slot %d not recycled (got %d): registry would grow without bound", h1.slot(), h2.slot())
+	}
+	if h1.gen() == h2.gen() {
+		t.Errorf("generation %d reused across recycle", h1.gen())
+	}
+	if err := e.Submit(h1, pkt(0)); !errors.Is(err, ErrStale) {
+		t.Errorf("stale handle: err = %v, want ErrStale", err)
 	}
 }
 
@@ -470,7 +477,7 @@ func TestConcurrentAddRemoveDuringTraffic(t *testing.T) {
 				return
 			}
 			e.Submit(h, pkt(i))
-			if err := e.Remove(id); err != nil {
+			if _, err := e.Remove(id); err != nil {
 				t.Error(err)
 				return
 			}

@@ -101,7 +101,8 @@ func TestEngineConcurrentStress(t *testing.T) {
 			h, err := e.Add(id, tbf.MustNew(units.Mbps, 50*units.MSS), nil)
 			if err == nil {
 				_ = e.Submit(h, pkt(i))
-				_ = e.Remove(id)
+				_ = e.SetRate(id, (1+units.Rate(i%4))*units.Mbps)
+				_, _ = e.Remove(id)
 			}
 		}
 	}()

@@ -25,8 +25,10 @@ type Middlebox = mbox.Engine
 type MiddleboxConfig = mbox.Config
 
 // AggregateHandle identifies a registered aggregate on the middlebox
-// datapath. Handles are returned by Add, resolved by Lookup, and are never
-// reused, so a stale handle cannot alias a later aggregate.
+// datapath. Handles are returned by Add and resolved by Lookup; they carry
+// a generation tag, so although table slots are recycled under churn
+// (bounded registry memory), a stale handle can never alias a later
+// aggregate — it reports ErrStaleHandle instead.
 type AggregateHandle = mbox.Handle
 
 // NoAggregate is the invalid handle returned alongside errors.
@@ -39,6 +41,36 @@ var ErrNoStats = mbox.ErrNoStats
 // ErrShardSaturated reports that a middlebox control operation timed out
 // against a saturated shard. Test with errors.Is.
 var ErrShardSaturated = mbox.ErrSaturated
+
+// ErrStaleHandle reports a submission through a handle whose aggregate has
+// been removed or evicted (the slot may already host a new aggregate under
+// a different generation). Test with errors.Is.
+var ErrStaleHandle = mbox.ErrStale
+
+// ErrAggregateTableFull reports an Add beyond MiddleboxConfig.MaxAggregates.
+// Test with errors.Is.
+var ErrAggregateTableFull = mbox.ErrTableFull
+
+// ErrNotReconfigurable reports a Middlebox.SetRate/SetPolicy against an
+// enforcer that does not implement Reconfigurer. Test with errors.Is.
+var ErrNotReconfigurable = mbox.ErrNotReconfigurable
+
+// ErrNoSnapshot reports a snapshot operation against an enforcer that does
+// not implement Snapshotter. Test with errors.Is.
+var ErrNoSnapshot = mbox.ErrNoSnapshot
+
+// ErrBadSnapshot reports a corrupt or incompatible middlebox snapshot blob.
+// Test with errors.Is.
+var ErrBadSnapshot = mbox.ErrBadSnapshot
+
+// MiddleboxSnapshot is a warm-restart image of a middlebox's enforcement
+// state, produced by Middlebox.Snapshot and loaded by Middlebox.Restore. It
+// implements encoding.BinaryMarshaler/Unmarshaler with a versioned framing.
+type MiddleboxSnapshot = mbox.Snapshot
+
+// AggregateSnapshot is one aggregate's serialized enforcer state inside a
+// MiddleboxSnapshot.
+type AggregateSnapshot = mbox.AggregateSnapshot
 
 // EmitFunc receives packets an aggregate's enforcer transmitted. It runs on
 // a shard goroutine: it must not block and must not call back into the
