@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet staticcheck govulncheck race chaos fuzz-smoke bench verify
+.PHONY: all build test vet staticcheck govulncheck race chaos fuzz-smoke bench bench-compare verify
 
 all: verify
 
@@ -54,6 +54,12 @@ fuzz-smoke:
 
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' ./...
+
+# Base-vs-head datapath benchmark comparison in a throwaway worktree;
+# fails on a >10% mean pkts/sec regression. benchstat adds a statistical
+# summary when installed — nothing is downloaded here.
+bench-compare:
+	scripts/bench-compare.sh
 
 # The gate CI runs: build + vet + staticcheck + govulncheck +
 # race-enabled tests + chaos suite + fuzz smoke.

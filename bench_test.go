@@ -273,30 +273,73 @@ func BenchmarkMiddleboxSubmitBatch(b *testing.B) {
 		b.Run(fmt.Sprintf("aggregates=%d", aggs), func(b *testing.B) {
 			eng, handles := benchEngine(b, aggs)
 			defer eng.Close()
-			b.ReportAllocs()
-			b.ResetTimer()
-			b.RunParallel(func(pb *testing.PB) {
-				var burst [DefaultBurst]Packet
-				for i := range burst {
-					burst[i] = Packet{Key: FlowKey{SrcIP: 1, Proto: 6}, Size: MSS, Class: i & 15}
+			runBatchBench(b, eng, handles)
+		})
+	}
+}
+
+// runBatchBench is the shared body of the burst-ingress benchmarks: one
+// iteration is one packet, bursts are flushed every DefaultBurst packets.
+func runBatchBench(b *testing.B, eng *Middlebox, handles []AggregateHandle) {
+	aggs := len(handles)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		var burst [DefaultBurst]Packet
+		for i := range burst {
+			burst[i] = Packet{Key: FlowKey{SrcIP: 1, Proto: 6}, Size: MSS, Class: i & 15}
+		}
+		i, fill := 0, 0
+		for pb.Next() {
+			// One iteration = one packet; flush the burst
+			// every DefaultBurst packets.
+			if fill++; fill == len(burst) {
+				fill = 0
+				eng.SubmitBatch(handles[i%aggs], burst[:])
+				i++
+			}
+		}
+		if fill > 0 {
+			eng.SubmitBatch(handles[i%aggs], burst[:fill])
+		}
+	})
+	b.StopTimer()
+	pps := float64(b.N) / b.Elapsed().Seconds()
+	b.ReportMetric(pps, "pkts/sec")
+}
+
+// BenchmarkMiddleboxSubmitBatchObserved is BenchmarkMiddleboxSubmitBatch
+// with the observability layer attached (default options: 1-in-16 burst
+// trace sampling, per-aggregate counters and rate meters, per-burst
+// latency histograms). The acceptance budget for the obs layer is 0
+// allocs/op and ≤10% pkts/sec regression against the unobserved benchmark.
+func BenchmarkMiddleboxSubmitBatchObserved(b *testing.B) {
+	for _, aggs := range []int{16, 256} {
+		aggs := aggs
+		b.Run(fmt.Sprintf("aggregates=%d", aggs), func(b *testing.B) {
+			var ticks atomic.Int64
+			cfg := MiddleboxConfig{
+				QueueDepth: 1 << 14,
+				Clock: func() time.Duration {
+					return time.Duration(ticks.Add(1)) * 10 * time.Microsecond
+				},
+			}
+			Observe(&cfg, ObserveOptions{})
+			eng := NewMiddlebox(cfg)
+			defer eng.Close()
+			handles := make([]AggregateHandle, aggs)
+			for i := range handles {
+				enf, err := NewBCPQP(BCPQPConfig{Rate: 20 * Mbps, Queues: 16})
+				if err != nil {
+					b.Fatal(err)
 				}
-				i, fill := 0, 0
-				for pb.Next() {
-					// One iteration = one packet; flush the burst
-					// every DefaultBurst packets.
-					if fill++; fill == len(burst) {
-						fill = 0
-						eng.SubmitBatch(handles[i%aggs], burst[:])
-						i++
-					}
+				h, err := eng.Add(fmt.Sprintf("agg-%d", i), enf, nil)
+				if err != nil {
+					b.Fatal(err)
 				}
-				if fill > 0 {
-					eng.SubmitBatch(handles[i%aggs], burst[:fill])
-				}
-			})
-			b.StopTimer()
-			pps := float64(b.N) / b.Elapsed().Seconds()
-			b.ReportMetric(pps, "pkts/sec")
+				handles[i] = h
+			}
+			runBatchBench(b, eng, handles)
 		})
 	}
 }

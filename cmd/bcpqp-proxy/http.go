@@ -1,0 +1,197 @@
+// Admin HTTP surface for bcpqp-proxy (-http): a read-only operational
+// endpoint set served off a dedicated listener, separate from the datapath
+// socket, so scraping metrics or grabbing a profile can never contend with
+// packet relaying.
+//
+//	/metrics      Prometheus text exposition of the engine's metric families
+//	/healthz      200 when no shard is wedged, 503 otherwise (JSON body)
+//	/debug/trace  JSON dump of the flight recorder (most recent events)
+//	/debug/vars   expvar, including the engine metrics under "bcpqp"
+//	/debug/pprof  the standard Go profiling handlers
+package main
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bcpqp"
+)
+
+// publishMetricsVar exposes the engine metrics under /debug/vars exactly
+// once per process: expvar.Publish panics on duplicate names, and tests run
+// serve more than once in one process. Later engines re-point the published
+// Var at themselves.
+var publishMetricsVar = func() func(mb *bcpqp.Middlebox) {
+	var once sync.Once
+	var mu sync.Mutex
+	var current *bcpqp.Middlebox
+	return func(mb *bcpqp.Middlebox) {
+		mu.Lock()
+		current = mb
+		mu.Unlock()
+		once.Do(func() {
+			expvar.Publish("bcpqp", expvar.Func(func() any {
+				mu.Lock()
+				mb := current
+				mu.Unlock()
+				if mb == nil {
+					return nil
+				}
+				var v any
+				if err := json.Unmarshal([]byte(bcpqp.MetricsVar(mb).String()), &v); err != nil {
+					return nil
+				}
+				return v
+			}))
+		})
+	}
+}()
+
+// newAdminMux builds the admin endpoint set for one engine.
+func newAdminMux(mb *bcpqp.Middlebox) *http.ServeMux {
+	publishMetricsVar(mb)
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := bcpqp.WritePrometheus(w, mb.Metrics()); err != nil {
+			// Headers are gone; all we can do is note it server-side.
+			fmt.Fprintf(os.Stderr, "bcpqp-proxy: /metrics write: %v\n", err)
+		}
+	})
+
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		h := mb.Health()
+		w.Header().Set("Content-Type", "application/json")
+		if h.Wedged() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		type shardz struct {
+			Shard        int    `json:"shard"`
+			State        string `json:"state"`
+			QueueDepth   int    `json:"queue_depth"`
+			QueueCap     int    `json:"queue_cap"`
+			HeartbeatAge string `json:"heartbeat_age"`
+			Processed    int64  `json:"processed"`
+			Panics       int64  `json:"panics"`
+			Shed         int64  `json:"shed_packets"`
+		}
+		body := struct {
+			Healthy     bool     `json:"healthy"`
+			Shards      []shardz `json:"shards"`
+			Quarantined []string `json:"quarantined,omitempty"`
+			Panics      int64    `json:"panics"`
+			Overloaded  int64    `json:"overloaded_packets"`
+		}{
+			Healthy:     !h.Wedged(),
+			Panics:      h.Panics,
+			Overloaded:  h.Overloaded,
+			Quarantined: h.Quarantined,
+		}
+		for _, s := range h.Shards {
+			body.Shards = append(body.Shards, shardz{
+				Shard:        s.Shard,
+				State:        s.State.String(),
+				QueueDepth:   s.QueueDepth,
+				QueueCap:     s.QueueCap,
+				HeartbeatAge: s.HeartbeatAge.String(),
+				Processed:    s.Processed,
+				Panics:       s.Panics,
+				Shed:         s.Shed,
+			})
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(body)
+	})
+
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, r *http.Request) {
+		events := mb.TraceDump()
+		w.Header().Set("Content-Type", "application/json")
+		type eventz struct {
+			Seq       uint64 `json:"seq"`
+			Wall      string `json:"wall,omitempty"`
+			VirtualNS int64  `json:"virtual_ns"`
+			Kind      string `json:"kind"`
+			Shard     int32  `json:"shard"`
+			Aggregate string `json:"aggregate,omitempty"`
+			A         int64  `json:"a"`
+			B         int64  `json:"b"`
+			C         int64  `json:"c"`
+		}
+		out := struct {
+			Events []eventz `json:"events"`
+		}{Events: make([]eventz, 0, len(events))}
+		for _, ev := range events {
+			ez := eventz{
+				Seq:       ev.Seq,
+				VirtualNS: ev.VT,
+				Kind:      ev.Kind.String(),
+				Shard:     ev.Shard,
+				Aggregate: ev.AggID,
+				A:         ev.A,
+				B:         ev.B,
+				C:         ev.C,
+			}
+			if ev.Wall != 0 {
+				ez.Wall = time.Unix(0, ev.Wall).UTC().Format(time.RFC3339Nano)
+			}
+			out.Events = append(out.Events, ez)
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(out)
+	})
+
+	mux.Handle("/debug/vars", expvar.Handler())
+
+	// pprof registers itself only on http.DefaultServeMux; the admin mux is
+	// private, so wire the handlers explicitly.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	return mux
+}
+
+// startAdmin serves the admin mux on ln until the returned server is
+// closed. Serve errors after shutdown are expected and discarded.
+func startAdmin(ln net.Listener, mb *bcpqp.Middlebox) *http.Server {
+	srv := &http.Server{Handler: newAdminMux(mb), ReadHeaderTimeout: 5 * time.Second}
+	go func() {
+		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			fmt.Fprintf(os.Stderr, "bcpqp-proxy: admin listener: %v\n", err)
+		}
+	}()
+	fmt.Fprintf(os.Stderr, "bcpqp-proxy: admin endpoints on http://%s (/metrics /healthz /debug/trace /debug/vars /debug/pprof)\n",
+		ln.Addr())
+	return srv
+}
+
+// faultLog emits one structured line per noteworthy fault-plane event,
+// rate-limited so a crash-looping enforcer cannot flood the log: the first
+// occurrence always logs, then every faultLogEvery-th. It is called from
+// shard goroutines (Config.OnFault/OnEvict contract: fast, non-blocking, no
+// calls back into the engine), so it only bumps an atomic and writes stderr.
+type faultLog struct {
+	faults sync.Map // aggregate id -> *faultCount
+}
+
+const faultLogEvery = 64
+
+// note records one fault for id and reports (shouldLog, occurrence count).
+func (l *faultLog) note(id string) (bool, int64) {
+	v, _ := l.faults.LoadOrStore(id, new(atomic.Int64))
+	n := v.(*atomic.Int64).Add(1)
+	return n == 1 || n%faultLogEvery == 0, n
+}

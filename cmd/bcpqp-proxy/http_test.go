@@ -1,0 +1,229 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"bcpqp"
+)
+
+// TestAdminEndpointsEndToEnd runs the full proxy (serve, engine datapath,
+// admin listener) over loopback and scrapes every admin endpoint the way an
+// operator's curl would: /healthz must go 200 with a JSON body, /metrics
+// must expose the engine families in Prometheus text format, /debug/trace
+// must return the flight recorder as JSON, /debug/vars must be valid
+// expvar output, and /debug/pprof must serve its index. SIGTERM must still
+// drain to exit 0 with the admin server attached.
+func TestAdminEndpointsEndToEnd(t *testing.T) {
+	sink, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sink.Close()
+	go func() {
+		buf := make([]byte, 65536)
+		for {
+			if _, _, err := sink.ReadFrom(buf); err != nil {
+				return
+			}
+		}
+	}()
+
+	in, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in.Close()
+	admin, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer admin.Close()
+	base := "http://" + admin.Addr().String()
+
+	enf, err := buildEnforcer("bc-pqp", bcpqp.Rate(1)*bcpqp.Mbps, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigc := make(chan os.Signal, 4)
+	code := make(chan int, 1)
+	go func() {
+		code <- serve(in, sink.LocalAddr().String(), enf, proxyOpts{
+			drainTimeout: 5 * time.Second,
+			sig:          sigc,
+			admin:        admin,
+		})
+	}()
+
+	// Offered load far beyond the 1 Mbps plan, so the trace and counters
+	// have drops to show.
+	conn, err := net.Dial("udp", in.LocalAddr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	payload := make([]byte, 1200)
+	for i := 0; i < 200; i++ {
+		if _, err := conn.Write(payload); err != nil {
+			t.Fatal(err)
+		}
+		if i%20 == 0 {
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: read body: %v", path, err)
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	// The admin server starts with serve; poll /healthz until it answers.
+	deadline := time.Now().Add(5 * time.Second)
+	var healthStatus int
+	var healthBody string
+	for {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			body, rerr := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if rerr == nil {
+				healthStatus, healthBody = resp.StatusCode, string(body)
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("admin listener never answered /healthz: %v", err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if healthStatus != http.StatusOK {
+		t.Fatalf("/healthz = %d, body %s", healthStatus, healthBody)
+	}
+	var health struct {
+		Healthy bool `json:"healthy"`
+		Shards  []struct {
+			State string `json:"state"`
+		} `json:"shards"`
+	}
+	if err := json.Unmarshal([]byte(healthBody), &health); err != nil {
+		t.Fatalf("/healthz body not JSON: %v\n%s", err, healthBody)
+	}
+	if !health.Healthy || len(health.Shards) == 0 {
+		t.Errorf("/healthz = %+v, want healthy with shards", health)
+	}
+
+	// /metrics: Prometheus exposition with engine, shard and aggregate
+	// families, and only finite sample values.
+	status, metrics := get("/metrics")
+	if status != http.StatusOK {
+		t.Fatalf("/metrics = %d", status)
+	}
+	for _, want := range []string{
+		"bcpqp_aggregates",
+		`bcpqp_shard_state{shard="0"}`,
+		`bcpqp_aggregate_accepted_packets_total{aggregate="proxy"}`,
+		"bcpqp_burst_enforce_seconds_bucket",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	for _, line := range strings.Split(metrics, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		val := line[strings.LastIndexByte(line, ' ')+1:]
+		if val == "NaN" || strings.HasSuffix(val, "Inf") {
+			t.Errorf("/metrics non-finite value: %q", line)
+		}
+	}
+
+	// /debug/trace: the flight recorder decodes and holds sampled bursts
+	// for the proxy aggregate.
+	status, trace := get("/debug/trace")
+	if status != http.StatusOK {
+		t.Fatalf("/debug/trace = %d", status)
+	}
+	var dump struct {
+		Events []struct {
+			Kind      string `json:"kind"`
+			Aggregate string `json:"aggregate"`
+		} `json:"events"`
+	}
+	if err := json.Unmarshal([]byte(trace), &dump); err != nil {
+		t.Fatalf("/debug/trace body not JSON: %v", err)
+	}
+	var bursts int
+	for _, ev := range dump.Events {
+		if ev.Kind == "burst" && ev.Aggregate == proxyAggregate {
+			bursts++
+		}
+	}
+	if bursts == 0 {
+		t.Errorf("/debug/trace holds no sampled bursts for %q among %d events", proxyAggregate, len(dump.Events))
+	}
+
+	// /debug/vars: valid expvar JSON including the published engine metrics.
+	status, vars := get("/debug/vars")
+	if status != http.StatusOK {
+		t.Fatalf("/debug/vars = %d", status)
+	}
+	var varsDoc map[string]any
+	if err := json.Unmarshal([]byte(vars), &varsDoc); err != nil {
+		t.Fatalf("/debug/vars not JSON: %v", err)
+	}
+	if _, ok := varsDoc["bcpqp"]; !ok {
+		t.Error("/debug/vars missing published bcpqp metrics")
+	}
+
+	// /debug/pprof: index page served off the private mux.
+	status, index := get("/debug/pprof/")
+	if status != http.StatusOK || !strings.Contains(index, "goroutine") {
+		t.Errorf("/debug/pprof/ = %d, want profile index", status)
+	}
+
+	// Graceful drain still works with the admin server attached.
+	sigc <- syscall.SIGTERM
+	select {
+	case c := <-code:
+		if c != 0 {
+			t.Fatalf("drain with admin server exited %d, want 0", c)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("proxy did not exit within 10s of SIGTERM")
+	}
+}
+
+// TestFaultLogRateLimits pins the structured fault log's cadence: first
+// occurrence always logs, then every 64th, independently per key.
+func TestFaultLogRateLimits(t *testing.T) {
+	var l faultLog
+	var logged int
+	for i := 0; i < 2*faultLogEvery; i++ {
+		if ok, _ := l.note("agg-a"); ok {
+			logged++
+		}
+	}
+	if logged != 3 { // 1st, 64th, 128th
+		t.Errorf("agg-a logged %d times over %d faults, want 3", logged, 2*faultLogEvery)
+	}
+	if ok, n := l.note("agg-b"); !ok || n != 1 {
+		t.Errorf("first fault of a new key: log=%v n=%d, want true 1", ok, n)
+	}
+}

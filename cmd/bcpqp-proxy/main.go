@@ -52,6 +52,7 @@ func main() {
 		scheme   = flag.String("scheme", "bc-pqp", "enforcement scheme (policer|policer+|fairpolicer|pqp|bc-pqp)")
 		queues   = flag.Int("queues", 16, "phantom queues / flow buckets")
 		snapPath = flag.String("snapshot", "", "warm-restart snapshot file: restored at startup if present, written on SIGHUP")
+		httpAddr = flag.String("http", "", "admin HTTP listener address serving /metrics, /healthz, /debug/trace, /debug/vars and /debug/pprof (disabled when empty)")
 		drain    = flag.Duration("drain-timeout", 5*time.Second, "graceful-shutdown drain deadline on SIGTERM/SIGINT")
 		selftest = flag.Bool("selftest", false, "run the loopback demonstration and exit")
 		duration = flag.Duration("selftest-duration", 5*time.Second, "selftest run length")
@@ -77,12 +78,22 @@ func main() {
 		os.Exit(1)
 	}
 	defer in.Close()
+	var admin net.Listener
+	if *httpAddr != "" {
+		admin, err = net.Listen("tcp", *httpAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer admin.Close()
+	}
 	sigc := make(chan os.Signal, 4)
 	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM, syscall.SIGHUP)
 	os.Exit(serve(in, *forward, enf, proxyOpts{
 		snapshotPath: *snapPath,
 		drainTimeout: *drain,
 		sig:          sigc,
+		admin:        admin,
 	}))
 }
 
@@ -98,6 +109,10 @@ type proxyOpts struct {
 	snapshotPath string
 	drainTimeout time.Duration
 	sig          <-chan os.Signal
+	// admin, when non-nil, serves the observability endpoints (/metrics,
+	// /healthz, /debug/trace, /debug/vars, /debug/pprof) until shutdown;
+	// serve closes it. It also switches the engine's trace collector on.
+	admin net.Listener
 }
 
 // serve runs the engine-hosted datapath until SIGTERM/SIGINT, then drains
@@ -123,7 +138,38 @@ func serve(in net.PacketConn, forward string, enf bcpqp.Enforcer, opts proxyOpts
 	defer out.Close()
 
 	var writeDropped, writeErrs atomic.Int64
-	mb := bcpqp.NewMiddlebox(bcpqp.MiddleboxConfig{CloseTimeout: opts.drainTimeout})
+	// Structured, rate-limited fault-plane logging: one line on the first
+	// enforcer panic / eviction per aggregate, then every 64th, so a
+	// crash-looping enforcer cannot flood stderr. Both hooks run on shard
+	// goroutines and must not call back into the engine.
+	var flog faultLog
+	cfg := bcpqp.MiddleboxConfig{
+		CloseTimeout: opts.drainTimeout,
+		OnFault: func(id string, recovered any, _ []byte) {
+			if id == "" {
+				id = "(unattributed)"
+			}
+			if log, n := flog.note(id); log {
+				fmt.Fprintf(os.Stderr, "bcpqp-proxy: event=fault aggregate=%q reason=%q count=%d\n",
+					id, fmt.Sprint(recovered), n)
+			}
+		},
+		OnEvict: func(id string, final bcpqp.Stats) {
+			if log, n := flog.note("evict:" + id); log {
+				fmt.Fprintf(os.Stderr, "bcpqp-proxy: event=evict aggregate=%q reason=%q count=%d accepted=%d dropped=%d\n",
+					id, "idle-ttl", n, final.AcceptedPackets, final.DroppedPackets)
+			}
+		},
+	}
+	// The admin listener switches the trace collector on: flight-recorder
+	// rings, burst-latency histograms and per-aggregate meters feed
+	// /metrics and /debug/trace. Without -http the engine runs unobserved
+	// (fault counters still exist — they are engine-native).
+	var col *bcpqp.Collector
+	if opts.admin != nil {
+		col = bcpqp.Observe(&cfg, bcpqp.ObserveOptions{})
+	}
+	mb := bcpqp.NewMiddlebox(cfg)
 	h, err := mb.Add(proxyAggregate, enf, func(p bcpqp.Packet) {
 		if err := writeTransient(out, p.Payload); err != nil {
 			writeDropped.Add(1)
@@ -135,6 +181,15 @@ func serve(in net.PacketConn, forward string, enf bcpqp.Enforcer, opts proxyOpts
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bcpqp-proxy:", err)
 		return 1
+	}
+	if col != nil {
+		// Wire enforcer-internal events (drops with reason, ECN marks,
+		// magic fill/reclaim) into the flight recorder. Token-bucket
+		// schemes expose no event hook; that only thins the trace.
+		if err := bcpqp.ObserveAggregate(mb, proxyAggregate, col); err != nil && !errors.Is(err, bcpqp.ErrNotObservable) {
+			fmt.Fprintln(os.Stderr, "bcpqp-proxy: observe:", err)
+		}
+		defer startAdmin(opts.admin, mb).Close()
 	}
 
 	if opts.snapshotPath != "" {

@@ -55,6 +55,7 @@ import (
 	"time"
 
 	"bcpqp/internal/enforcer"
+	"bcpqp/internal/obs"
 	"bcpqp/internal/packet"
 	"bcpqp/internal/sched"
 	"bcpqp/internal/units"
@@ -243,6 +244,17 @@ type Config struct {
 	// the sweeper goroutine, after the aggregate has been unpublished and
 	// its queued bursts drained; it must not block for long.
 	OnEvict func(id string, final enforcer.Stats)
+
+	// Observer, when non-nil, attaches the observability layer: per-shard
+	// flight-recorder rings fed by datapath and fault events, per-burst
+	// enforcement-latency histograms, and per-aggregate traffic counters
+	// with windowed rate meters. The hot-path cost is a verdict tally per
+	// enforced run (a handful of atomic adds — no per-packet work, no
+	// allocation) plus one sampled trace event per Options.SampleEvery
+	// runs; rare events (panics, quarantine, shed, failover, evict,
+	// reconfiguration) are always recorded. Read it back through
+	// Engine.TraceDump and Engine.Metrics.
+	Observer *obs.Collector
 }
 
 // Engine hosts many enforcers behind a concurrent burst-submit API.
@@ -284,6 +296,10 @@ type Engine struct {
 	slotGen   []uint32
 	freeSlots []int
 
+	// obsSample caches Observer.Options().SampleEvery for the shed-event
+	// coalescing in enqueue (0 without an Observer).
+	obsSample int
+
 	pool        sync.Pool // *burst
 	flushStop   chan struct{}
 	dead        chan struct{} // closed once Close finished (shards exited or abandoned)
@@ -321,6 +337,12 @@ type aggregate struct {
 	// call and no per-packet atomics), and on Update. The sweeper evicts
 	// aggregates whose stamp is older than IdleTTL.
 	lastActive atomic.Int64
+
+	// obs is the per-aggregate metrics block (nil without an Observer).
+	// It lives on the aggregate, not in slot-indexed collector storage, so
+	// slot recycling under churn can never bleed one incarnation's
+	// counters into the next.
+	obs *obs.AggObs
 }
 
 // burst is one ring slot of work: either a single-aggregate burst (agg set,
@@ -363,6 +385,20 @@ type shard struct {
 	panics    atomic.Int64 // panics recovered on this shard
 	shed      atomic.Int64 // packets shed at this shard's ring
 	state     atomic.Int32 // ShardState, maintained by the watchdog
+
+	// obs is the shard's observability block (nil without an Observer):
+	// its flight-recorder ring, burst-latency histogram and trace
+	// sampling state.
+	obs *obs.ShardObs
+	// shedTick/shedAccum coalesce KindShed trace events: under sustained
+	// overload every enqueue sheds, and recording each one would hammer
+	// the collector's global sequence from every producer. The first shed
+	// records immediately (the transition into overload is never missed);
+	// after that one event per obsSample sheds carries the accumulated
+	// packet count. Both are guarded by the shard's staging lock, which
+	// every enqueue already holds. Overloaded/shed counters stay exact.
+	shedTick  int
+	shedAccum int64
 
 	done chan struct{} // closed when the shard goroutine exits
 }
@@ -414,6 +450,9 @@ func New(cfg Config) *Engine {
 		flushStop: make(chan struct{}),
 		dead:      make(chan struct{}),
 	}
+	if cfg.Observer != nil {
+		e.obsSample = cfg.Observer.Options().SampleEvery
+	}
 	e.pool.New = func() any {
 		return &burst{
 			pkts: make([]packet.Packet, 0, cfg.FlushBurst),
@@ -431,6 +470,9 @@ func New(cfg Config) *Engine {
 			done:     make(chan struct{}),
 		}
 		s.heartbeat.Store(now)
+		if cfg.Observer != nil {
+			s.obs = cfg.Observer.Shard(i)
+		}
 		e.shards = append(e.shards, s)
 		go e.run(s)
 	}
@@ -473,8 +515,15 @@ func (e *Engine) process(s *shard, it item) bool {
 	s.heartbeat.Store(wall)
 	defer func() {
 		s.processed.Add(1)
-		s.heartbeat.Store(time.Now().UnixNano())
+		// One wall-clock read serves both the heartbeat stamp and the
+		// burst-latency histogram — enabling observability adds no clock
+		// calls to the datapath.
+		end := time.Now().UnixNano()
+		s.heartbeat.Store(end)
 		s.busy.Store(false)
+		if s.obs != nil && it.b != nil {
+			s.obs.ObserveBurst(end - wall)
+		}
 	}()
 	if it.control != nil {
 		e.runControl(s, it)
@@ -567,6 +616,9 @@ func (e *Engine) enforceRun(s *shard, now time.Duration, agg *aggregate, pkts []
 	v := s.verdicts[:len(pkts)]
 	enforcer.SubmitBatch(agg.enf, now, pkts, v)
 	enforced = true
+	if agg.obs != nil {
+		e.observeRun(s, now, agg, pkts, v)
+	}
 	if agg.emit == nil {
 		return nil, false
 	}
@@ -586,6 +638,66 @@ func (e *Engine) enforceRun(s *shard, now time.Duration, agg *aggregate, pkts []
 		}
 	}
 	return nil, false
+}
+
+// observeRun tallies one enforced run's verdicts into the aggregate's
+// metrics block and, on the sampling cadence, records a KindBurst trace
+// event. It runs on the shard goroutine inside enforceRun's panic barrier,
+// immediately after the verdicts are written: the tally is a single pass
+// over the verdict slice plus a handful of atomic adds — no per-packet
+// atomics, no interface calls, no allocation.
+func (e *Engine) observeRun(s *shard, now time.Duration, agg *aggregate, pkts []packet.Packet, v []enforcer.Verdict) {
+	var accPkts, accBytes, drpPkts, drpBytes int64
+	for i, verdict := range v {
+		sz := int64(pkts[i].Size)
+		switch verdict {
+		case enforcer.Transmit, enforcer.TransmitCE, enforcer.Queued:
+			accPkts++
+			accBytes += sz
+		default:
+			drpPkts++
+			drpBytes += sz
+		}
+	}
+	agg.obs.Count(accPkts, accBytes, drpPkts, drpBytes, now)
+	if s.obs != nil && s.obs.SampleBurst() {
+		s.obs.Record(obs.Event{
+			Kind: obs.KindBurst,
+			VT:   int64(now),
+			Agg:  int64(agg.h),
+			A:    accPkts,
+			B:    drpPkts,
+			C:    accBytes + drpBytes,
+		})
+	}
+}
+
+// record publishes a trace event, preferring the shard's ring (which stamps
+// the shard index) and falling back to the collector's auxiliary ring for
+// unattributed sources. It is a no-op without an Observer.
+func (e *Engine) record(s *shard, ev obs.Event) {
+	if s != nil && s.obs != nil {
+		s.obs.Record(ev)
+		return
+	}
+	if e.cfg.Observer != nil {
+		ev.Shard = -1
+		e.cfg.Observer.Record(ev)
+	}
+}
+
+// recordControl publishes a control-plane trace event attributed to an
+// aggregate id, resolving its handle when still registered. No-op without
+// an Observer.
+func (e *Engine) recordControl(id string, kind obs.Kind) {
+	if e.cfg.Observer == nil {
+		return
+	}
+	ev := obs.Event{Kind: kind, Shard: -1, Agg: -1}
+	if agg, err := e.aggByID(id); err == nil {
+		ev.Agg = int64(agg.h)
+	}
+	e.cfg.Observer.Record(ev)
 }
 
 // degrade applies an aggregate's DegradeMode to packets that cannot be
@@ -630,11 +742,20 @@ func (e *Engine) notePanic(s *shard, agg *aggregate, recovered any) {
 		s.panics.Add(1)
 	}
 	id := ""
+	aggH := int64(-1)
+	quarantined := false
 	if agg != nil {
 		id = agg.id
+		aggH = int64(agg.h)
 		if n := agg.panics.Add(1); n >= int64(e.cfg.PanicThreshold) {
-			agg.quarantined.Store(true)
+			// Swap so the quarantine transition is detected exactly once
+			// even under racing panics.
+			quarantined = !agg.quarantined.Swap(true)
 		}
+	}
+	e.record(s, obs.Event{Kind: obs.KindPanic, Agg: aggH})
+	if quarantined {
+		e.record(s, obs.Event{Kind: obs.KindQuarantine, Agg: aggH, A: agg.panics.Load()})
 	}
 	if e.cfg.OnFault != nil {
 		e.cfg.OnFault(id, recovered, debug.Stack())
@@ -678,8 +799,17 @@ func (e *Engine) enqueue(s *shard, b *burst) {
 	select {
 	case s.in <- item{b: b}:
 	default:
-		e.Overloaded.Add(int64(len(b.pkts)))
-		s.shed.Add(int64(len(b.pkts)))
+		n := int64(len(b.pkts))
+		e.Overloaded.Add(n)
+		s.shed.Add(n)
+		if s.obs != nil {
+			s.shedAccum += n
+			if s.shedTick--; s.shedTick <= 0 {
+				s.shedTick = e.obsSample
+				s.obs.Record(obs.Event{Kind: obs.KindShed, Agg: -1, A: s.shedAccum})
+				s.shedAccum = 0
+			}
+		}
 		e.putBurst(b)
 	}
 }
@@ -760,6 +890,9 @@ func (e *Engine) Add(id string, enf enforcer.Enforcer, emit Emit) (Handle, error
 	agg := &aggregate{id: id, h: h, enf: enf, emit: emit, shard: e.shardFor(id)}
 	agg.mode.Store(int32(e.cfg.DegradeMode))
 	agg.lastActive.Store(time.Now().UnixNano())
+	if e.cfg.Observer != nil {
+		agg.obs = e.cfg.Observer.NewAggObs()
+	}
 	slots := make([]*aggregate, len(e.slotGen))
 	copy(slots, t.slots)
 	slots[slot] = agg
@@ -797,6 +930,7 @@ func (e *Engine) Remove(id string) (enforcer.Stats, error) {
 	if err != nil {
 		return enforcer.Stats{}, err
 	}
+	e.record(nil, obs.Event{Kind: obs.KindRemove, Agg: int64(agg.h)})
 	return e.finalStats(agg)
 }
 
@@ -1024,6 +1158,7 @@ func (e *Engine) controlAgg(agg *aggregate, fn func(enforcer.Enforcer)) error {
 	case <-timer.C:
 		// Ordered ring saturated: fail over to the priority lane.
 		e.ControlFailovers.Add(1)
+		e.record(s, obs.Event{Kind: obs.KindFailover, Agg: int64(agg.h)})
 		timer.Reset(e.cfg.ControlTimeout)
 		select {
 		case s.ctrl <- it:
@@ -1082,13 +1217,17 @@ func (e *Engine) Update(id string, fn func(now time.Duration, enf enforcer.Enfor
 // admission state (see Update). The enforcer must implement
 // enforcer.Reconfigurer; ErrNotReconfigurable otherwise.
 func (e *Engine) SetRate(id string, rate units.Rate) error {
-	return e.Update(id, func(now time.Duration, enf enforcer.Enforcer) error {
+	err := e.Update(id, func(now time.Duration, enf enforcer.Enforcer) error {
 		r, ok := enf.(enforcer.Reconfigurer)
 		if !ok {
 			return fmt.Errorf("mbox: aggregate %q (%T): %w", id, enf, ErrNotReconfigurable)
 		}
 		return r.SetRate(now, rate)
 	})
+	if err == nil {
+		e.recordControl(id, obs.KindRateUpdate)
+	}
+	return err
 }
 
 // SetPolicy changes an aggregate's intra-aggregate rate-sharing policy
@@ -1097,13 +1236,17 @@ func (e *Engine) SetRate(id string, rate units.Rate) error {
 // enforcer.Reconfigurer; enforcers without a policy dimension report
 // enforcer.ErrNoPolicy.
 func (e *Engine) SetPolicy(id string, policy *sched.Policy) error {
-	return e.Update(id, func(now time.Duration, enf enforcer.Enforcer) error {
+	err := e.Update(id, func(now time.Duration, enf enforcer.Enforcer) error {
 		r, ok := enf.(enforcer.Reconfigurer)
 		if !ok {
 			return fmt.Errorf("mbox: aggregate %q (%T): %w", id, enf, ErrNotReconfigurable)
 		}
 		return r.SetPolicy(now, policy)
 	})
+	if err == nil {
+		e.recordControl(id, obs.KindPolicyUpdate)
+	}
+	return err
 }
 
 // sweeper is the idle-TTL eviction loop: every SweepInterval it scans the
@@ -1148,6 +1291,7 @@ func (e *Engine) sweep() {
 		}
 		final, _ := e.finalStats(evicted) // zero Stats when unobtainable
 		e.Evicted.Add(1)
+		e.record(nil, obs.Event{Kind: obs.KindEvict, Agg: int64(evicted.h)})
 		if e.cfg.OnEvict != nil {
 			e.cfg.OnEvict(evicted.id, final)
 		}
@@ -1237,7 +1381,9 @@ func (e *Engine) Reinstate(id string) error {
 		return err
 	}
 	agg.panics.Store(0)
-	agg.quarantined.Store(false)
+	if agg.quarantined.Swap(false) {
+		e.record(nil, obs.Event{Kind: obs.KindReinstate, Agg: int64(agg.h)})
+	}
 	return nil
 }
 

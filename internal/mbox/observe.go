@@ -1,0 +1,150 @@
+package mbox
+
+import (
+	"strconv"
+	"time"
+
+	"bcpqp/internal/obs"
+)
+
+// TraceEvent is one flight-recorder event with the aggregate handle
+// resolved back to its string id where possible.
+type TraceEvent struct {
+	obs.Event
+	// AggID is the aggregate's id when its handle still resolves against
+	// the current registry; empty for engine-level events and for
+	// aggregates removed or evicted since the event was recorded.
+	AggID string
+}
+
+// TraceDump snapshots every flight-recorder ring without stopping the
+// datapath and returns the merged events ordered by global sequence,
+// oldest first. Writers are never blocked: each ring slot is read through
+// a seqlock and slots caught mid-write are discarded. It returns nil when
+// the engine has no Observer.
+func (e *Engine) TraceDump() []TraceEvent {
+	c := e.cfg.Observer
+	if c == nil {
+		return nil
+	}
+	evs := c.Events()
+	t := e.table.Load()
+	out := make([]TraceEvent, len(evs))
+	for i, ev := range evs {
+		te := TraceEvent{Event: ev}
+		if h := Handle(ev.Agg); h > 0 && h.slot() < len(t.slots) {
+			if agg := t.slots[h.slot()]; agg != nil && agg.h == h {
+				te.AggID = agg.id
+			}
+		}
+		out[i] = te
+	}
+	return out
+}
+
+// Metrics builds a point-in-time export snapshot of the engine: the
+// engine-wide fault counters, per-shard health gauges, per-aggregate
+// traffic and fault state, and the merged burst-enforcement latency
+// histogram. It reads only atomics and registry snapshots (the same data
+// Health reads), so it is safe to call at any scrape rate during full-rate
+// traffic. Families derived from the Observer (traffic counters, rate
+// meters, the latency histogram, trace totals) are omitted when the engine
+// has none; fault-plane families are always present.
+func (e *Engine) Metrics() obs.Snapshot {
+	var fams []obs.Family
+	counter := func(name, help string, v float64) {
+		fams = append(fams, obs.Family{Name: name, Help: help, Type: "counter",
+			Samples: []obs.Sample{{Value: v}}})
+	}
+	gauge := func(name, help string, v float64) {
+		fams = append(fams, obs.Family{Name: name, Help: help, Type: "gauge",
+			Samples: []obs.Sample{{Value: v}}})
+	}
+
+	t := e.table.Load()
+	gauge("bcpqp_aggregates", "registered aggregates", float64(len(t.byID)))
+	counter("bcpqp_panics_total", "recovered enforcer/emit panics", float64(e.Panics.Load()))
+	counter("bcpqp_degraded_drops_total", "packets dropped for quarantined fail-closed aggregates", float64(e.DegradedDrops.Load()))
+	counter("bcpqp_degraded_passes_total", "packets passed unenforced for quarantined fail-open aggregates", float64(e.DegradedPasses.Load()))
+	counter("bcpqp_bad_verdicts_total", "out-of-range verdicts coerced to drop", float64(e.BadVerdicts.Load()))
+	counter("bcpqp_overloaded_packets_total", "packets shed at full shard rings", float64(e.Overloaded.Load()))
+	counter("bcpqp_control_failovers_total", "control operations that failed over to the priority lane", float64(e.ControlFailovers.Load()))
+	counter("bcpqp_evicted_total", "aggregates evicted by the idle-TTL sweeper", float64(e.Evicted.Load()))
+
+	now := time.Now().UnixNano()
+	shardFams := []obs.Family{
+		{Name: "bcpqp_shard_state", Help: "watchdog state (0 healthy, 1 degraded, 2 wedged)", Type: "gauge"},
+		{Name: "bcpqp_shard_queue_depth", Help: "bursts queued on the ordered data ring", Type: "gauge"},
+		{Name: "bcpqp_shard_heartbeat_age_seconds", Help: "time since the shard last made progress", Type: "gauge"},
+		{Name: "bcpqp_shard_processed_total", Help: "items completed by the shard", Type: "counter"},
+		{Name: "bcpqp_shard_panics_total", Help: "panics recovered on the shard", Type: "counter"},
+		{Name: "bcpqp_shard_shed_packets_total", Help: "packets shed at the shard ring", Type: "counter"},
+	}
+	for i, s := range e.shards {
+		lbl := []obs.Label{{Name: "shard", Value: strconv.Itoa(i)}}
+		vals := []float64{
+			float64(s.state.Load()),
+			float64(len(s.in)),
+			float64(now-s.heartbeat.Load()) / 1e9,
+			float64(s.processed.Load()),
+			float64(s.panics.Load()),
+			float64(s.shed.Load()),
+		}
+		for j := range shardFams {
+			shardFams[j].Samples = append(shardFams[j].Samples,
+				obs.Sample{Labels: lbl, Value: vals[j]})
+		}
+	}
+	fams = append(fams, shardFams...)
+
+	aggFams := []obs.Family{
+		{Name: "bcpqp_aggregate_quarantined", Help: "1 when the aggregate's circuit breaker is open", Type: "gauge"},
+		{Name: "bcpqp_aggregate_panics_total", Help: "recovered panics attributed to the aggregate", Type: "counter"},
+		{Name: "bcpqp_aggregate_accepted_packets_total", Help: "packets the enforcer admitted", Type: "counter"},
+		{Name: "bcpqp_aggregate_accepted_bytes_total", Help: "bytes the enforcer admitted", Type: "counter"},
+		{Name: "bcpqp_aggregate_dropped_packets_total", Help: "packets the enforcer rejected", Type: "counter"},
+		{Name: "bcpqp_aggregate_dropped_bytes_total", Help: "bytes the enforcer rejected", Type: "counter"},
+		{Name: "bcpqp_aggregate_rate_bps", Help: "accepted throughput over the last measurement window", Type: "gauge"},
+	}
+	const nFault = 2 // families exported even without per-aggregate obs
+	for _, agg := range t.slots {
+		if agg == nil {
+			continue
+		}
+		lbl := []obs.Label{{Name: "aggregate", Value: agg.id}}
+		q := 0.0
+		if agg.quarantined.Load() {
+			q = 1
+		}
+		vals := []float64{q, float64(agg.panics.Load())}
+		if agg.obs != nil {
+			s := agg.obs.Snapshot()
+			vals = append(vals,
+				float64(s.AcceptedPackets), float64(s.AcceptedBytes),
+				float64(s.DroppedPackets), float64(s.DroppedBytes),
+				s.Rate)
+		}
+		for j := range vals {
+			aggFams[j].Samples = append(aggFams[j].Samples,
+				obs.Sample{Labels: lbl, Value: vals[j]})
+		}
+	}
+	if e.cfg.Observer != nil {
+		fams = append(fams, aggFams...)
+	} else {
+		fams = append(fams, aggFams[:nFault]...)
+	}
+
+	if c := e.cfg.Observer; c != nil {
+		counter("bcpqp_trace_events_total", "flight-recorder events recorded (including overwritten)", float64(c.EventsRecorded()))
+		counter("bcpqp_bursts_enforced_total", "enforced bursts observed across all shards", float64(c.Bursts()))
+		h := c.BurstHist()
+		fams = append(fams, obs.Family{
+			Name: "bcpqp_burst_enforce_seconds",
+			Help: "per-burst enforcement latency on the shard goroutines",
+			Type: "histogram",
+			Samples: []obs.Sample{{Hist: &h}},
+		})
+	}
+	return obs.Snapshot{Families: fams}
+}

@@ -31,12 +31,20 @@ func NewMeter(window time.Duration) *Meter {
 	return &Meter{window: window, counts: make(map[int][]int64)}
 }
 
-// Add records bytes for key at virtual time now.
+// Add records bytes for key at virtual time now. A negative now is
+// rejected (it would index before the first window); a virtual clock that
+// can run backwards must be clamped by the caller.
 func (m *Meter) Add(now time.Duration, key int, bytes int) {
+	if now < 0 {
+		return
+	}
 	idx := int(now / m.window)
 	s := m.counts[key]
-	for len(s) <= idx {
-		s = append(s, 0)
+	if len(s) <= idx {
+		// One append reserves the whole gap: a sparse series (a flow
+		// quiet for thousands of windows) grows in a single allocation
+		// instead of one per missing window.
+		s = append(s, make([]int64, idx+1-len(s))...)
 	}
 	s[idx] += int64(bytes)
 	m.counts[key] = s

@@ -26,6 +26,48 @@ func TestMeterWindows(t *testing.T) {
 	}
 }
 
+// TestMeterRejectsNegativeTime pins Add's guard: a backwards virtual clock
+// must be ignored, not panic with a negative window index or corrupt the
+// horizon.
+func TestMeterRejectsNegativeTime(t *testing.T) {
+	m := NewMeter(250 * time.Millisecond)
+	m.Add(-time.Second, 1, 1000)
+	if m.TotalBytes(1) != 0 {
+		t.Errorf("negative-time Add recorded %d bytes, want 0", m.TotalBytes(1))
+	}
+	m.Add(100*time.Millisecond, 1, 500)
+	m.Add(-1, 1, 9999)
+	if got := m.TotalBytes(1); got != 500 {
+		t.Errorf("TotalBytes = %d after negative Add, want 500", got)
+	}
+	if m.Windows() != 1 {
+		t.Errorf("Windows() = %d, want 1", m.Windows())
+	}
+}
+
+// TestMeterSparseGapGrowth pins single-append gap growth: a key quiet for
+// thousands of windows lands in the right slot with all gap windows zero.
+func TestMeterSparseGapGrowth(t *testing.T) {
+	m := NewMeter(time.Millisecond)
+	m.Add(0, 1, 7)
+	m.Add(5000*time.Millisecond, 1, 11)
+	wb := m.WindowBytes(1)
+	if len(wb) != 5001 {
+		t.Fatalf("window count %d, want 5001", len(wb))
+	}
+	if wb[0] != 7 || wb[5000] != 11 {
+		t.Errorf("endpoints = %d, %d, want 7, 11", wb[0], wb[5000])
+	}
+	for i := 1; i < 5000; i++ {
+		if wb[i] != 0 {
+			t.Fatalf("gap window %d = %d, want 0", i, wb[i])
+		}
+	}
+	if m.TotalBytes(1) != 18 {
+		t.Errorf("TotalBytes = %d, want 18", m.TotalBytes(1))
+	}
+}
+
 func TestMeterSeriesRates(t *testing.T) {
 	m := NewMeter(250 * time.Millisecond)
 	m.Add(0, 7, 31250) // 31250 B / 250 ms = 1 Mbps

@@ -1,0 +1,241 @@
+package obs
+
+import (
+	"math/bits"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRingRecordSnapshot(t *testing.T) {
+	c := NewCollector(Options{RingDepth: 16})
+	for i := 0; i < 10; i++ {
+		c.Record(Event{Kind: KindShed, Shard: -1, Agg: -1, A: int64(i)})
+	}
+	evs := c.Events()
+	if len(evs) != 10 {
+		t.Fatalf("Events() = %d events, want 10", len(evs))
+	}
+	for i, e := range evs {
+		if e.Seq != uint64(i+1) {
+			t.Errorf("event %d: Seq = %d, want %d (sorted by global sequence)", i, e.Seq, i+1)
+		}
+		if e.A != int64(i) {
+			t.Errorf("event %d: A = %d, want %d", i, e.A, i)
+		}
+		if e.Wall == 0 {
+			t.Errorf("event %d: wall timestamp not stamped", i)
+		}
+	}
+}
+
+func TestRingOverwritesOldest(t *testing.T) {
+	c := NewCollector(Options{RingDepth: 16})
+	for i := 0; i < 100; i++ {
+		c.Record(Event{Kind: KindShed, Shard: -1, Agg: -1, A: int64(i)})
+	}
+	evs := c.Events()
+	if len(evs) != 16 {
+		t.Fatalf("ring of 16 holds %d events", len(evs))
+	}
+	if evs[0].A != 84 || evs[len(evs)-1].A != 99 {
+		t.Errorf("ring holds A=%d..%d, want 84..99", evs[0].A, evs[len(evs)-1].A)
+	}
+	if got := c.EventsRecorded(); got != 100 {
+		t.Errorf("EventsRecorded = %d, want 100", got)
+	}
+}
+
+// TestRingConcurrentSnapshot hammers a ring with concurrent writers while
+// snapshotting: every returned event must be internally consistent (the
+// writer stores A == B), which the per-slot seqlock guarantees.
+func TestRingConcurrentSnapshot(t *testing.T) {
+	c := NewCollector(Options{RingDepth: 64})
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				v := int64(w*1_000_000 + i)
+				c.Record(Event{Kind: KindBurst, Shard: -1, Agg: -1, A: v, B: v})
+			}
+		}(w)
+	}
+	for i := 0; i < 200; i++ {
+		for _, e := range c.Events() {
+			if e.A != e.B {
+				t.Fatalf("torn event: A=%d B=%d", e.A, e.B)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestShardRecordStampsShard(t *testing.T) {
+	c := NewCollector(Options{RingDepth: 16})
+	s := c.Shard(3)
+	s.Record(Event{Kind: KindPanic, Agg: 7, A: 1})
+	evs := c.Events()
+	if len(evs) != 1 || evs[0].Shard != 3 || evs[0].Agg != 7 {
+		t.Fatalf("shard event = %+v", evs)
+	}
+}
+
+func TestSampleBurst(t *testing.T) {
+	c := NewCollector(Options{SampleEvery: 4})
+	s := c.Shard(0)
+	var hits int
+	for i := 0; i < 16; i++ {
+		if s.SampleBurst() {
+			hits++
+		}
+	}
+	if hits != 4 {
+		t.Errorf("SampleEvery=4 over 16 bursts sampled %d, want 4", hits)
+	}
+}
+
+func TestHistBuckets(t *testing.T) {
+	h := NewHist()
+	values := []int64{0, 1, 100, 128, 129, 1000, 1 << 20, 1 << 33, 1 << 40}
+	for _, v := range values {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != uint64(len(values)) {
+		t.Fatalf("Count = %d, want %d", s.Count, len(values))
+	}
+	var sum int64
+	for _, v := range values {
+		sum += v
+	}
+	if got := s.Sum * 1e9; got < float64(sum)*0.999 || got > float64(sum)*1.001 {
+		t.Errorf("Sum = %g s, want ≈%d ns", s.Sum, sum)
+	}
+	var total uint64
+	for _, n := range s.Counts {
+		total += n
+	}
+	if total != s.Count {
+		t.Errorf("bucket counts sum to %d, want %d", total, s.Count)
+	}
+	// The overflow bucket holds exactly the 2^40 observation.
+	if s.Counts[len(s.Counts)-1] != 1 {
+		t.Errorf("overflow bucket = %d, want 1", s.Counts[len(s.Counts)-1])
+	}
+	// Every value must land in a bucket whose bound covers it.
+	for _, v := range values[:len(values)-1] {
+		idx := histIdx(v)
+		if idx >= len(s.Bounds) {
+			t.Errorf("value %d overflowed (bit length %d)", v, bits.Len64(uint64(v)))
+			continue
+		}
+		if float64(v)/1e9 > s.Bounds[idx] {
+			t.Errorf("value %d above its bucket bound %g", v, s.Bounds[idx])
+		}
+		if idx > 0 && float64(v)/1e9 <= s.Bounds[idx-1] {
+			t.Errorf("value %d at or below the previous bound %g", v, s.Bounds[idx-1])
+		}
+	}
+}
+
+func TestHistBoundsMonotone(t *testing.T) {
+	prev := int64(0)
+	for i, b := range histBounds {
+		if b <= prev {
+			t.Fatalf("bound %d = %d not increasing past %d", i, b, prev)
+		}
+		prev = b
+	}
+}
+
+func TestHistQuantile(t *testing.T) {
+	h := NewHist()
+	if q := h.Snapshot().Quantile(0.5); q != 0 {
+		t.Errorf("empty hist quantile = %g, want 0", q)
+	}
+	for i := 0; i < 1000; i++ {
+		h.Observe(1000) // 1 µs
+	}
+	s := h.Snapshot()
+	if q := s.Quantile(0.5); q < 0.9e-6 || q > 1.2e-6 {
+		t.Errorf("p50 of 1µs = %g s", q)
+	}
+}
+
+func TestRateMeter(t *testing.T) {
+	m := NewRateMeter(100*time.Millisecond, 8)
+	if r := m.Rate(); r != 0 {
+		t.Errorf("empty meter Rate = %v, want 0", r)
+	}
+	// 12500 bytes into the first window = 1 Mbps at 100 ms windows.
+	m.Add(10*time.Millisecond, 12500)
+	m.Add(150*time.Millisecond, 1) // advance into window 1
+	if r := float64(m.Rate()); r < 0.99e6 || r > 1.01e6 {
+		t.Errorf("Rate = %g bps, want ≈1e6", r)
+	}
+	if m.Total() != 12501 {
+		t.Errorf("Total = %d", m.Total())
+	}
+}
+
+func TestRateMeterRebaseBoundsMemory(t *testing.T) {
+	m := NewRateMeter(time.Millisecond, 4)
+	// Walk far past the horizon; the meter must keep working (and keep
+	// only the rebased history).
+	for i := 0; i < 10_000; i++ {
+		m.Add(time.Duration(i)*time.Millisecond, 125)
+	}
+	if r := float64(m.Rate()); r < 0.9e6 || r > 1.1e6 {
+		t.Errorf("steady 1 Mbps reads %g bps after rebases", r)
+	}
+	if m.Total() != 10_000*125 {
+		t.Errorf("Total = %d", m.Total())
+	}
+	// Time regression clamps instead of panicking.
+	m.Add(0, 10)
+}
+
+func TestAggObsCount(t *testing.T) {
+	c := NewCollector(Options{})
+	a := c.NewAggObs()
+	a.Count(10, 15000, 2, 3000, 50*time.Millisecond)
+	a.Count(5, 7500, 0, 0, 60*time.Millisecond)
+	s := a.Snapshot()
+	if s.AcceptedPackets != 15 || s.AcceptedBytes != 22500 ||
+		s.DroppedPackets != 2 || s.DroppedBytes != 3000 {
+		t.Errorf("Snapshot = %+v", s)
+	}
+}
+
+func TestCollectorBurstHistMerge(t *testing.T) {
+	c := NewCollector(Options{})
+	c.Shard(0).ObserveBurst(1000)
+	c.Shard(1).ObserveBurst(2000)
+	c.Shard(1).ObserveBurst(3000)
+	if got := c.Bursts(); got != 3 {
+		t.Errorf("Bursts = %d", got)
+	}
+	if s := c.BurstHist(); s.Count != 3 {
+		t.Errorf("merged hist Count = %d", s.Count)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k := KindBurst; k <= KindPanic; k++ {
+		if s := k.String(); s == "" || s[0] == 'k' {
+			t.Errorf("Kind(%d).String() = %q", k, s)
+		}
+	}
+	if Kind(200).String() != "kind(200)" {
+		t.Errorf("unknown kind string = %q", Kind(200).String())
+	}
+}

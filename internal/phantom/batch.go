@@ -56,7 +56,7 @@ func (p *PQP) SubmitBatch(now time.Duration, pkts []packet.Packet, verdicts []en
 			q.droppedPackets++
 			q.droppedBytes += size
 			p.stats.Reject(pkt.Size)
-			p.emit(now, class, EventDrop, size, q.length)
+			p.emitDrop(now, class, size, q.length, DropFilter)
 			verdicts[i] = enforcer.Drop
 			continue
 		}
@@ -82,7 +82,7 @@ func (p *PQP) SubmitBatch(now time.Duration, pkts []packet.Packet, verdicts []en
 				q.droppedPackets++
 				q.droppedBytes += size
 				p.stats.Reject(pkt.Size)
-				p.emit(now, class, EventDrop, size, q.length)
+				p.emitDrop(now, class, size, q.length, DropRED)
 				verdicts[i] = enforcer.Drop
 				continue
 			}
@@ -91,7 +91,7 @@ func (p *PQP) SubmitBatch(now time.Duration, pkts []packet.Packet, verdicts []en
 			q.droppedPackets++
 			q.droppedBytes += size
 			p.stats.Reject(pkt.Size)
-			p.emit(now, class, EventDrop, size, q.length)
+			p.emitDrop(now, class, size, q.length, DropQueueFull)
 			verdicts[i] = enforcer.Drop
 			continue
 		}

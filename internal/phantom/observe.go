@@ -38,6 +38,39 @@ func (k EventKind) String() string {
 	}
 }
 
+// DropReason distinguishes why a phantom queue rejected a packet. It is
+// DropNone on every non-drop event.
+type DropReason int
+
+const (
+	// DropNone: the event is not a drop.
+	DropNone DropReason = iota
+	// DropFilter: rejected by the access-control arrival filter (§3.3).
+	DropFilter
+	// DropRED: dropped by RED early detection on the averaged simulated
+	// occupancy (and the packet was not ECN-capable or marking is off).
+	DropRED
+	// DropQueueFull: drop-tail — the phantom copy did not fit in the
+	// simulated buffer.
+	DropQueueFull
+)
+
+// String names the drop reason.
+func (r DropReason) String() string {
+	switch r {
+	case DropNone:
+		return "none"
+	case DropFilter:
+		return "filter"
+	case DropRED:
+		return "red"
+	case DropQueueFull:
+		return "queue-full"
+	default:
+		return "unknown"
+	}
+}
+
 // Event is one observable phantom-queue transition. Emitted synchronously
 // from Submit/Tick; handlers must be fast and must not call back into the
 // enforcer.
@@ -50,6 +83,9 @@ type Event struct {
 	Bytes int64
 	// QueueLen is the queue's simulated occupancy after the event.
 	QueueLen int64
+	// Reason qualifies EventDrop (filter, RED, or full queue); DropNone
+	// otherwise.
+	Reason DropReason
 }
 
 // Recorder is a fixed-capacity ring of recent events — a flight recorder

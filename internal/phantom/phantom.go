@@ -249,7 +249,7 @@ func (p *PQP) Submit(now time.Duration, pkt packet.Packet) enforcer.Verdict {
 		q.droppedPackets++
 		q.droppedBytes += size
 		p.stats.Reject(pkt.Size)
-		p.emit(now, class, EventDrop, size, q.length)
+		p.emitDrop(now, class, size, q.length, DropFilter)
 		return enforcer.Drop
 	}
 
@@ -277,7 +277,7 @@ func (p *PQP) Submit(now time.Duration, pkt packet.Packet) enforcer.Verdict {
 			q.droppedPackets++
 			q.droppedBytes += size
 			p.stats.Reject(pkt.Size)
-			p.emit(now, class, EventDrop, size, q.length)
+			p.emitDrop(now, class, size, q.length, DropRED)
 			return enforcer.Drop
 		}
 	}
@@ -285,7 +285,7 @@ func (p *PQP) Submit(now time.Duration, pkt packet.Packet) enforcer.Verdict {
 		q.droppedPackets++
 		q.droppedBytes += size
 		p.stats.Reject(pkt.Size)
-		p.emit(now, class, EventDrop, size, q.length)
+		p.emitDrop(now, class, size, q.length, DropQueueFull)
 		return enforcer.Drop
 	}
 
@@ -332,6 +332,19 @@ func (p *PQP) emit(now time.Duration, class int, kind EventKind, bytes, qlen int
 		p.cfg.OnEvent(Event{Time: now, Class: class, Kind: kind, Bytes: bytes, QueueLen: qlen})
 	}
 }
+
+// emitDrop publishes an EventDrop qualified with its reason.
+func (p *PQP) emitDrop(now time.Duration, class int, size, qlen int64, reason DropReason) {
+	if p.cfg.OnEvent != nil {
+		p.cfg.OnEvent(Event{Time: now, Class: class, Kind: EventDrop, Bytes: size, QueueLen: qlen, Reason: reason})
+	}
+}
+
+// SetOnEvent installs or replaces the observability hook. It mutates
+// enforcer state: call it only from the goroutine that owns the enforcer
+// (under mbox, via Engine.Update so it runs on the owning shard), never
+// concurrently with Submit or Tick. A nil fn detaches the hook.
+func (p *PQP) SetOnEvent(fn func(Event)) { p.cfg.OnEvent = fn }
 
 // Probe reports whether a packet would be admitted at now, applying the
 // same batched lazy drains as Submit but changing no admission state. It

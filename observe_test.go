@@ -1,0 +1,138 @@
+package bcpqp_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"bcpqp"
+)
+
+// TestObserveEndToEnd drives an observed middlebox with a BC-PQP
+// aggregate past its rate, then checks the full readback chain: phantom
+// drop events with reasons in the trace, per-aggregate counters and the
+// burst histogram in the Prometheus exposition, and the expvar adapter.
+func TestObserveEndToEnd(t *testing.T) {
+	var ticks atomic.Int64
+	cfg := bcpqp.MiddleboxConfig{
+		Shards: 2,
+		Clock: func() time.Duration {
+			return time.Duration(ticks.Add(1)) * 100 * time.Microsecond
+		},
+	}
+	col := bcpqp.Observe(&cfg, bcpqp.ObserveOptions{SampleEvery: 1})
+	mb := bcpqp.NewMiddlebox(cfg)
+	defer mb.Close()
+
+	enf, err := bcpqp.NewBCPQP(bcpqp.BCPQPConfig{Rate: bcpqp.Mbps, Queues: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := mb.Add("sub-1", enf, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bcpqp.ObserveAggregate(mb, "sub-1", col); err != nil {
+		t.Fatal(err)
+	}
+
+	// ~25 Mbps offered against a 1 Mbps plan: most packets must drop.
+	pkts := make([]bcpqp.Packet, 32)
+	for i := range pkts {
+		pkts[i] = bcpqp.Packet{Key: bcpqp.FlowKey{SrcIP: 7, Proto: 6}, Size: bcpqp.MSS, Class: i & 3}
+	}
+	for i := 0; i < 64; i++ {
+		if err := mb.SubmitBatch(h, pkts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := mb.Stats("sub-1"); err != nil { // control barrier: drain
+		t.Fatal(err)
+	}
+
+	// Trace: sampled bursts plus phantom drop events with a reason.
+	var bursts, drops int
+	for _, ev := range mb.TraceDump() {
+		switch ev.Kind {
+		case bcpqp.TraceBurst:
+			bursts++
+			if ev.AggID != "sub-1" {
+				t.Errorf("burst event AggID = %q", ev.AggID)
+			}
+		case bcpqp.TraceDrop:
+			drops++
+			if r := bcpqp.DropReason(ev.C); r != bcpqp.DropQueueFull && r != bcpqp.DropRED && r != bcpqp.DropFilter {
+				t.Errorf("drop event with reason %v", r)
+			}
+		}
+	}
+	if bursts == 0 {
+		t.Error("no sampled burst events at SampleEvery=1")
+	}
+	if drops == 0 {
+		t.Error("no phantom drop events despite 25× oversubscription")
+	}
+
+	// Prometheus exposition.
+	var buf bytes.Buffer
+	if err := bcpqp.WritePrometheus(&buf, mb.Metrics()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`bcpqp_aggregate_accepted_packets_total{aggregate="sub-1"}`,
+		`bcpqp_aggregate_dropped_packets_total{aggregate="sub-1"}`,
+		`bcpqp_aggregate_rate_bps{aggregate="sub-1"}`,
+		"bcpqp_burst_enforce_seconds_bucket",
+		"bcpqp_trace_events_total",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	for _, line := range strings.Split(out, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		// The value is the last space-separated token (le="+Inf" label
+		// text is fine; a non-finite VALUE is not).
+		val := line[strings.LastIndexByte(line, ' ')+1:]
+		if val == "NaN" || strings.HasSuffix(val, "Inf") {
+			t.Errorf("non-finite value leaked: %q", line)
+		}
+	}
+
+	// expvar adapter must emit valid JSON.
+	var decoded map[string]any
+	if err := json.Unmarshal([]byte(bcpqp.MetricsVar(mb).String()), &decoded); err != nil {
+		t.Fatalf("MetricsVar output invalid: %v", err)
+	}
+	if _, ok := decoded["bcpqp_aggregate_accepted_packets_total"]; !ok {
+		t.Error("expvar output missing aggregate counters")
+	}
+}
+
+func TestObserveAggregateNotObservable(t *testing.T) {
+	cfg := bcpqp.MiddleboxConfig{Shards: 1}
+	col := bcpqp.Observe(&cfg, bcpqp.ObserveOptions{})
+	mb := bcpqp.NewMiddlebox(cfg)
+	defer mb.Close()
+	tb, err := bcpqp.NewPolicer(bcpqp.Mbps, 10*int64(bcpqp.MSS), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mb.Add("tb", tb, nil); err != nil {
+		t.Fatal(err)
+	}
+	err = bcpqp.ObserveAggregate(mb, "tb", col)
+	if !errors.Is(err, bcpqp.ErrNotObservable) {
+		t.Errorf("ObserveAggregate on a token bucket: %v, want ErrNotObservable", err)
+	}
+	if err := bcpqp.ObserveAggregate(mb, "missing", col); err == nil {
+		t.Error("ObserveAggregate on unknown id succeeded")
+	}
+}

@@ -1,0 +1,93 @@
+#!/bin/sh
+# bench-compare: benchmark the datapath at HEAD (including uncommitted
+# changes) against a base revision in a throwaway git worktree, and fail
+# when the mean pkts/sec of any compared benchmark regresses beyond the
+# budget. benchstat, when installed, adds its statistical summary; the
+# pass/fail gate itself needs only git, go and awk — nothing is ever
+# downloaded here.
+#
+# Usage: scripts/bench-compare.sh [base-ref]
+#
+# With no argument the base is the merge-base with origin/main (then main),
+# falling back to HEAD~1 when that is HEAD itself (e.g. running on main).
+#
+# Environment:
+#   BENCH   benchmark regexp      (default '^BenchmarkMiddleboxSubmitBatch$')
+#   COUNT   repetitions per side  (default 6)
+#   BUDGET  allowed mean pkts/sec regression in percent (default 10)
+#   OUTDIR  where base.txt / head.txt are written (default: a temp dir)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BENCH="${BENCH:-^BenchmarkMiddleboxSubmitBatch\$}"
+COUNT="${COUNT:-6}"
+BUDGET="${BUDGET:-10}"
+
+base_ref=""
+if [ -n "${1:-}" ]; then
+	base_ref="$(git merge-base "$1" HEAD 2>/dev/null || git rev-parse "$1")"
+else
+	for cand in origin/main main; do
+		if git rev-parse --verify --quiet "$cand" >/dev/null; then
+			base_ref="$(git merge-base "$cand" HEAD)"
+			break
+		fi
+	done
+	if [ -z "$base_ref" ] || [ "$base_ref" = "$(git rev-parse HEAD)" ]; then
+		base_ref="$(git rev-parse HEAD~1)"
+	fi
+fi
+
+OUTDIR="${OUTDIR:-$(mktemp -d)}"
+mkdir -p "$OUTDIR"
+worktree="$(mktemp -d)"
+trap 'git worktree remove --force "$worktree" >/dev/null 2>&1 || true; rm -rf "$worktree"' EXIT
+
+dirty=""
+git diff --quiet 2>/dev/null || dirty=" (+uncommitted changes)"
+echo "bench-compare: base $(git rev-parse --short "$base_ref"), head $(git rev-parse --short HEAD)$dirty"
+echo "bench-compare: bench $BENCH, $COUNT reps per side, budget ${BUDGET}%"
+git worktree add --quiet --detach "$worktree" "$base_ref"
+
+run_bench() { # run_bench <dir> <outfile>
+	(cd "$1" && go test -run '^$' -bench "$BENCH" -benchmem -count "$COUNT" .) | tee "$2"
+}
+
+echo "bench-compare: running base"
+run_bench "$worktree" "$OUTDIR/base.txt"
+echo "bench-compare: running head"
+run_bench . "$OUTDIR/head.txt"
+
+if command -v benchstat >/dev/null 2>&1; then
+	benchstat "$OUTDIR/base.txt" "$OUTDIR/head.txt" | tee "$OUTDIR/benchstat.txt" || true
+else
+	echo "bench-compare: benchstat not installed; skipping the statistical summary" \
+		"(go install golang.org/x/perf/cmd/benchstat@latest)"
+fi
+
+# The gate: per benchmark present on both sides, the head's mean pkts/sec
+# must not be more than BUDGET percent below the base's.
+awk -v budget="$BUDGET" '
+	FNR == 1 { side++ }
+	/^Benchmark/ {
+		for (i = 2; i < NF; i++) if ($(i + 1) == "pkts/sec") {
+			sum[side, $1] += $i; n[side, $1]++
+			if (side == 1) names[$1] = 1
+		}
+	}
+	END {
+		fail = 0; compared = 0
+		for (b in names) {
+			if (!n[1, b] || !n[2, b]) continue
+			compared++
+			base = sum[1, b] / n[1, b]; head = sum[2, b] / n[2, b]
+			delta = (head - base) / base * 100
+			printf "%-55s base %14.0f  head %14.0f  %+7.2f%%\n", b, base, head, delta
+			if (delta < -budget) fail = 1
+		}
+		if (!compared) { print "bench-compare: FAIL: no benchmark present on both sides"; exit 1 }
+		if (fail) { print "bench-compare: FAIL: mean pkts/sec regression beyond " budget "%"; exit 1 }
+		print "bench-compare: OK (within the " budget "% budget)"
+	}
+' "$OUTDIR/base.txt" "$OUTDIR/head.txt"
