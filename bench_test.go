@@ -487,3 +487,68 @@ func benchFig(b *testing.B, fn experiments.Runner) {
 // directly and would fight the benchmark harness's own accounting).
 func BenchmarkExtAQM(b *testing.B) { benchFig(b, experiments.ExtAQM) }
 func BenchmarkExtECN(b *testing.B) { benchFig(b, experiments.ExtECN) }
+
+// BenchmarkPolicyTreeSubmitBatch measures the hierarchical datapath at
+// depth 3 (root ceiling → pool ceiling → assured leaf) as the tree grows
+// from a thousand to a million leaves. Bursts of 32 MSS packets enter at a
+// pseudo-randomly rotating leaf, so every admission walks the full
+// three-level path (two ceiling probes/commits plus the borrow layer) with
+// a cold-ish leaf. One benchmark iteration is one packet; steady state
+// must report 0 allocs/op at every size — the flat struct-of-arrays layout
+// is what keeps the million-leaf walk pointer-free.
+func BenchmarkPolicyTreeSubmitBatch(b *testing.B) {
+	shapes := []struct {
+		name             string
+		pools, leavesPer int
+	}{
+		{"1k-leaves", 10, 100},
+		{"100k-leaves", 100, 1000},
+		{"1M-leaves", 1000, 1000},
+	}
+	for _, sh := range shapes {
+		sh := sh
+		b.Run(sh.name, func(b *testing.B) {
+			mkCeil := func(r Rate) CascadeStage {
+				c, err := NewPolicer(r, 0, 100*time.Millisecond)
+				if err != nil {
+					b.Fatal(err)
+				}
+				return c
+			}
+			nLeaves := sh.pools * sh.leavesPer
+			spec := make([]PolicyTreeNode, 0, 1+sh.pools+nLeaves)
+			spec = append(spec, PolicyTreeNode{Name: "root", Parent: -1, Stage: mkCeil(400 * Gbps)})
+			for p := 0; p < sh.pools; p++ {
+				spec = append(spec, PolicyTreeNode{Parent: 0, Stage: mkCeil(Gbps)})
+			}
+			for l := 0; l < nLeaves; l++ {
+				spec = append(spec, PolicyTreeNode{Parent: 1 + l/sh.leavesPer, Assured: 10 * Mbps})
+			}
+			tree := MustNewPolicyTree(spec)
+			const burst = 32
+			pkts := make([]Packet, burst)
+			verdicts := make([]Verdict, burst)
+			for i := range pkts {
+				pkts[i] = Packet{Key: FlowKey{SrcIP: uint32(i + 1), DstIP: 9, Proto: 6}, Size: MSS}
+			}
+			leafBase := 1 + sh.pools
+			now := time.Duration(0)
+			var x uint64 = 0x9e3779b97f4a7c15
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i += burst {
+				n := b.N - i
+				if n > burst {
+					n = burst
+				}
+				// Cheap inline LCG: leaf selection must not allocate or
+				// dominate the measured datapath.
+				x = x*6364136223846793005 + 1442695040888963407
+				leaf := NodeID(leafBase + int(x%uint64(nLeaves)))
+				now += 10 * time.Microsecond
+				tree.SubmitBatchAt(now, leaf, pkts[:n], verdicts[:n])
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "pkts/sec")
+		})
+	}
+}

@@ -4,6 +4,7 @@
 // packet relaying.
 //
 //	/metrics      Prometheus text exposition of the engine's metric families
+//	/metrics/tree per-node counters of the policy tree (node + path labels)
 //	/healthz      200 when no shard is wedged, 503 otherwise (JSON body)
 //	/debug/trace  JSON dump of the flight recorder (most recent events)
 //	/debug/vars   expvar, including the engine metrics under "bcpqp"
@@ -65,6 +66,22 @@ func newAdminMux(mb *bcpqp.Middlebox) *http.ServeMux {
 		if err := bcpqp.WritePrometheus(w, mb.Metrics()); err != nil {
 			// Headers are gone; all we can do is note it server-side.
 			fmt.Fprintf(os.Stderr, "bcpqp-proxy: /metrics write: %v\n", err)
+		}
+	})
+
+	mux.HandleFunc("/metrics/tree", func(w http.ResponseWriter, r *http.Request) {
+		// Per-node counters of the proxy aggregate's policy tree, with
+		// node index and root→node path labels. Works on a flat aggregate
+		// too (one node); bounded export — very large trees report leaf
+		// omission through bcpqp_tree_nodes vs bcpqp_tree_nodes_exported.
+		snap, err := mb.NodeMetrics(proxyAggregate)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := bcpqp.WritePrometheus(w, snap); err != nil {
+			fmt.Fprintf(os.Stderr, "bcpqp-proxy: /metrics/tree write: %v\n", err)
 		}
 	})
 
@@ -173,7 +190,7 @@ func startAdmin(ln net.Listener, mb *bcpqp.Middlebox) *http.Server {
 			fmt.Fprintf(os.Stderr, "bcpqp-proxy: admin listener: %v\n", err)
 		}
 	}()
-	fmt.Fprintf(os.Stderr, "bcpqp-proxy: admin endpoints on http://%s (/metrics /healthz /debug/trace /debug/vars /debug/pprof)\n",
+	fmt.Fprintf(os.Stderr, "bcpqp-proxy: admin endpoints on http://%s (/metrics /metrics/tree /healthz /debug/trace /debug/vars /debug/pprof)\n",
 		ln.Addr())
 	return srv
 }

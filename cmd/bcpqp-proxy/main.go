@@ -51,6 +51,7 @@ func main() {
 		rateMbps = flag.Float64("rate", 5, "enforced rate in Mbps")
 		scheme   = flag.String("scheme", "bc-pqp", "enforcement scheme (policer|policer+|fairpolicer|pqp|bc-pqp)")
 		queues   = flag.Int("queues", 16, "phantom queues / flow buckets")
+		treePath = flag.String("tree", "", "policy-tree JSON spec file: hierarchical ceilings and assured rates enforced instead of the flat -rate/-scheme enforcer (see treespec.go for the format)")
 		snapPath = flag.String("snapshot", "", "warm-restart snapshot file: restored at startup if present, written on SIGHUP")
 		httpAddr = flag.String("http", "", "admin HTTP listener address serving /metrics, /healthz, /debug/trace, /debug/vars and /debug/pprof (disabled when empty)")
 		drain    = flag.Duration("drain-timeout", 5*time.Second, "graceful-shutdown drain deadline on SIGTERM/SIGINT")
@@ -67,7 +68,13 @@ func main() {
 		return
 	}
 
-	enf, err := buildEnforcer(*scheme, bcpqp.Rate(*rateMbps)*bcpqp.Mbps, *queues)
+	var enf bcpqp.Enforcer
+	var err error
+	if *treePath != "" {
+		enf, err = loadTreeSpec(*treePath, *queues)
+	} else {
+		enf, err = buildEnforcer(*scheme, bcpqp.Rate(*rateMbps)*bcpqp.Mbps, *queues)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -170,14 +177,23 @@ func serve(in net.PacketConn, forward string, enf bcpqp.Enforcer, opts proxyOpts
 		col = bcpqp.Observe(&cfg, bcpqp.ObserveOptions{})
 	}
 	mb := bcpqp.NewMiddlebox(cfg)
-	h, err := mb.Add(proxyAggregate, enf, func(p bcpqp.Packet) {
+	emit := func(p bcpqp.Packet) {
 		if err := writeTransient(out, p.Payload); err != nil {
 			writeDropped.Add(1)
 			if n := writeErrs.Add(1); n == 1 || n%1024 == 0 {
 				fmt.Fprintf(os.Stderr, "bcpqp-proxy: transient write error (%d so far, dropping): %v\n", n, err)
 			}
 		}
-	})
+	}
+	// A policy tree registers node-addressable (per-node stats, in-band
+	// node reconfiguration, the /metrics/tree export); a flat enforcer is
+	// the degenerate one-node aggregate.
+	var h bcpqp.AggregateHandle
+	if tree, ok := enf.(bcpqp.TreeEnforcer); ok {
+		h, err = mb.AddTree(proxyAggregate, tree, emit)
+	} else {
+		h, err = mb.Add(proxyAggregate, enf, emit)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bcpqp-proxy:", err)
 		return 1

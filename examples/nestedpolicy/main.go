@@ -1,8 +1,11 @@
-// Nestedpolicy: hierarchical rate sharing with BC-PQP (§6.3.3). A 10 Mbps
-// subscriber rate carries two priority groups: interactive traffic (two
-// classes in a 3:1 weighted-fair split) strictly above a background class
-// that may only use idle capacity. The background flow is backlogged the
-// whole run; the interactive flows turn on and off.
+// Nestedpolicy: hierarchical rate enforcement with HTB-style borrowing.
+// An operator's policy tree — tenant link → service plans → subscribers —
+// enforces a ceiling at every level and an assured rate per subscriber:
+// a subscriber throttled at its assured share while its sibling is busy
+// reclaims the sibling's bandwidth the moment it goes idle, is squeezed
+// back to its guarantee when the sibling returns, and — when a whole
+// neighboring plan goes quiet — borrows across plans up to its own
+// plan's ceiling.
 //
 // Run with: go run ./examples/nestedpolicy
 package main
@@ -14,87 +17,102 @@ import (
 	"bcpqp"
 )
 
+const mss = bcpqp.MSS
+
+// offer drives each subscriber at its offered rate over one phase,
+// interleaving their packet streams in virtual time, and returns the
+// admitted bytes per subscriber.
+func offer(tree *bcpqp.PolicyTree, leaves []bcpqp.NodeID, rates []bcpqp.Rate, from, to time.Duration) []float64 {
+	adm := make([]float64, len(leaves))
+	owed := make([]float64, len(leaves))
+	const step = 250 * time.Microsecond
+	for now := from; now < to; now += step {
+		for i, leaf := range leaves {
+			owed[i] += rates[i].Bytes(step)
+			for owed[i] >= mss {
+				owed[i] -= mss
+				p := bcpqp.Packet{
+					Key:  bcpqp.FlowKey{SrcIP: uint32(i + 1), DstIP: 9, SrcPort: 1000, DstPort: 443, Proto: 6},
+					Size: mss,
+				}
+				if tree.SubmitAt(now, leaf, p) == bcpqp.Transmit {
+					adm[i] += mss
+				}
+			}
+		}
+	}
+	return adm
+}
+
 func main() {
-	const rate = 10 * bcpqp.Mbps
-	const dur = 24 * time.Second
-
-	// Priority( Weighted(class0 ×3, class1 ×1), class2 ).
-	policy := bcpqp.MustNewPolicy(bcpqp.Priority(
-		bcpqp.Weighted(
-			bcpqp.Leaf(0).WithWeight(3),
-			bcpqp.Leaf(1).WithWeight(1),
-		),
-		bcpqp.Leaf(2),
-	))
-
-	sim, err := bcpqp.NewSimulation(bcpqp.SimulationConfig{
-		Scheme: bcpqp.SchemeBCPQP,
-		Rate:   rate,
-		MaxRTT: 20 * time.Millisecond,
-		Queues: 3,
-		Policy: policy,
-		// A moderate queue keeps the example's time series readable;
-		// burst control works for any size above the CC requirement.
-		PhantomQueueSize: 300_000,
+	// The tree: a 50 Mbps tenant link carries two 20 Mbps plans; plan
+	// "gold" hosts subscribers alice and bob, plan "silver" hosts carol,
+	// each with an 8 Mbps assured rate. Each plan's borrow pool lends at
+	// the sum of its subscribers' assured rates (gold: 16 Mbps) — an idle
+	// subscriber's share is what its plan siblings may borrow — and the
+	// tenant pool lends idle plan slack across plans.
+	mkCeil := func(r bcpqp.Rate) bcpqp.CascadeStage {
+		c, err := bcpqp.NewPolicer(r, 0, 100*time.Millisecond)
+		if err != nil {
+			panic(err)
+		}
+		return c
+	}
+	tree, err := bcpqp.NewPolicyTree([]bcpqp.PolicyTreeNode{
+		{Name: "tenant", Parent: -1, Stage: mkCeil(50 * bcpqp.Mbps)},
+		{Name: "gold", Parent: 0, Stage: mkCeil(20 * bcpqp.Mbps)},
+		{Name: "silver", Parent: 0, Stage: mkCeil(20 * bcpqp.Mbps)},
+		{Name: "alice", Parent: 1, Assured: 8 * bcpqp.Mbps},
+		{Name: "bob", Parent: 1, Assured: 8 * bcpqp.Mbps},
+		{Name: "carol", Parent: 2, Assured: 8 * bcpqp.Mbps},
 	})
 	if err != nil {
 		panic(err)
 	}
-	meter := bcpqp.NewMeter(500 * time.Millisecond)
+	subs := []bcpqp.NodeID{3, 4, 5} // alice, bob, carol
 
-	// Two interactive on-off flows: 2 MB bursts, then 4 s of silence.
-	for class := 0; class < 2; class++ {
-		class := class
-		var flowAdd func(int64)
-		flow, err := sim.AttachFlow(bcpqp.SimFlowSpec{
-			Key:   bcpqp.FlowKey{SrcIP: 1, SrcPort: uint16(class + 1), DstIP: 9, DstPort: 443, Proto: 6},
-			Class: class,
-			CC:    "cubic",
-			RTT:   20 * time.Millisecond,
-			Size:  2_000_000,
-			Start: 2 * time.Second,
-			OnDeliver: func(now time.Duration, b int) {
-				meter.Add(now, class, b)
-			},
-			OnComplete: func(now time.Duration) {
-				sim.Loop.After(4*time.Second, func() { flowAdd(2_000_000) })
-			},
-		})
+	mbps := func(bytes float64, d time.Duration) float64 { return bytes * 8 / d.Seconds() / 1e6 }
+	const phase = 5 * time.Second
+	show := func(label string, adm []float64) {
+		fmt.Printf("%-46s %7.1f %8.1f %8.1f\n", label,
+			mbps(adm[0], phase), mbps(adm[1], phase), mbps(adm[2], phase))
+	}
+	fmt.Println("gold plan: 20 Mbps ceiling; alice, bob, carol assured 8 Mbps each")
+	fmt.Printf("%-46s %8s %8s %8s   (Mbps admitted)\n", "", "alice", "bob", "carol")
+
+	// Phase 1: everyone backlogged. Gold's 16 Mbps lend rate is fully
+	// subscribed, so alice and bob are each held near the 8 Mbps
+	// guarantee; carol uses exactly her share, so the tenant pool has no
+	// cross-plan slack to lend.
+	adm := offer(tree, subs, []bcpqp.Rate{14 * bcpqp.Mbps, 14 * bcpqp.Mbps, 8 * bcpqp.Mbps}, 0, phase)
+	show("phase 1: alice & bob offer 14, carol 8", adm)
+
+	// Phase 2: bob idles. Alice borrows his released 8 Mbps through the
+	// gold pool and climbs to the pool's 16 Mbps lend rate.
+	adm = offer(tree, subs, []bcpqp.Rate{18 * bcpqp.Mbps, 0, 8 * bcpqp.Mbps}, phase, 2*phase)
+	show("phase 2: bob idle, alice offers 18", adm)
+
+	// Phase 3: bob returns. His guarantee reasserts immediately; alice is
+	// squeezed back to her own share.
+	adm = offer(tree, subs, []bcpqp.Rate{18 * bcpqp.Mbps, 14 * bcpqp.Mbps, 8 * bcpqp.Mbps}, 2*phase, 3*phase)
+	show("phase 3: bob returns at 14", adm)
+
+	// Phase 4: the whole silver plan goes quiet too. Borrowing cascades:
+	// the tenant pool collects silver's idle share and lends it across
+	// plans, so alice passes gold's 16 Mbps lend rate — her hard cap is
+	// now the gold ceiling itself (20 Mbps).
+	adm = offer(tree, subs, []bcpqp.Rate{24 * bcpqp.Mbps, 0, 0}, 3*phase, 4*phase)
+	show("phase 4: bob & carol idle, alice offers 24", adm)
+
+	fmt.Println("\nborrowing is conserved: every gain is some idle subscriber's assured")
+	fmt.Println("rate, and every level's ceiling still caps its subtree.")
+	for _, n := range []bcpqp.NodeID{0, 1, 2, 3, 4, 5} {
+		st, err := tree.NodeStats(n)
 		if err != nil {
 			panic(err)
 		}
-		flowAdd = flow.AddData
+		_, lend := tree.AssuredRate(n)
+		fmt.Printf("  %-8s admitted %5.1f Mbps avg, dropped %6d pkts, lend rate %v\n",
+			tree.NodeLabel(n), mbps(float64(st.AcceptedBytes), 4*phase), st.DroppedPackets, lend)
 	}
-
-	// The background flow: backlogged, lowest priority.
-	if _, err := sim.AttachFlow(bcpqp.SimFlowSpec{
-		Key:   bcpqp.FlowKey{SrcIP: 1, SrcPort: 99, DstIP: 9, DstPort: 80, Proto: 6},
-		Class: 2,
-		CC:    "cubic",
-		RTT:   20 * time.Millisecond,
-		Start: 10 * time.Millisecond,
-		OnDeliver: func(now time.Duration, b int) {
-			meter.Add(now, 2, b)
-		},
-	}); err != nil {
-		panic(err)
-	}
-
-	sim.Run(dur)
-
-	fmt.Printf("nested policy over %v: Priority( Weighted(3:1), background )\n\n", rate)
-	fmt.Printf("%6s %14s %14s %14s\n", "t (s)", "interactive×3", "interactive×1", "background")
-	w0, w1, w2 := meter.WindowBytes(0), meter.WindowBytes(1), meter.WindowBytes(2)
-	at := func(s []int64, w int) float64 {
-		if w < len(s) {
-			return float64(s[w]) * 8 / meter.Window().Seconds() / 1e6
-		}
-		return 0
-	}
-	for w := 0; w < meter.Windows(); w += 2 {
-		fmt.Printf("%6.1f %11.2f %14.2f %14.2f\n",
-			float64(w)*meter.Window().Seconds(), at(w0, w), at(w1, w), at(w2, w))
-	}
-	fmt.Println("\nwhile the interactive bursts run they split the rate ≈3:1 and the")
-	fmt.Println("background class is squeezed out; between bursts it takes the idle rate.")
 }

@@ -21,15 +21,11 @@ import (
 )
 
 // Stage is an enforcer supporting two-phase admission. *phantom.PQP and
-// *tbf.Policer implement it.
-type Stage interface {
-	// Probe reports whether the packet would be admitted at now,
-	// without changing admission state.
-	Probe(now time.Duration, pkt packet.Packet) bool
-	// Commit admits a packet previously accepted by Probe at the same
-	// virtual time.
-	Commit(now time.Duration, pkt packet.Packet)
-}
+// *tbf.Policer implement it. It is an alias for enforcer.Stage, the shared
+// composition capability also consumed by the policy-tree enforcer
+// (internal/ptree) — the same stage object can serve as a cascade level or
+// as a policy-tree node ceiling.
+type Stage = enforcer.Stage
 
 // Cascade enforces every stage in order; it implements enforcer.Enforcer.
 // Per-stage statistics count only committed packets; the cascade's own

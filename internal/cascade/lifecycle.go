@@ -50,11 +50,13 @@ func (c *Cascade) SetStagePolicy(now time.Duration, stage int, policy *sched.Pol
 
 func (c *Cascade) reconfigurer(stage int) (enforcer.Reconfigurer, error) {
 	if stage < 0 || stage >= len(c.stages) {
-		return nil, fmt.Errorf("cascade: stage %d out of range [0,%d)", stage, len(c.stages))
+		return nil, fmt.Errorf("cascade: stage %d out of range [0,%d): %w",
+			stage, len(c.stages), enforcer.ErrBadNode)
 	}
 	r, ok := c.stages[stage].(enforcer.Reconfigurer)
 	if !ok {
-		return nil, fmt.Errorf("cascade: stage %d (%T) is not reconfigurable", stage, c.stages[stage])
+		return nil, fmt.Errorf("cascade: stage %d (%T): %w",
+			stage, c.stages[stage], enforcer.ErrNotReconfigurable)
 	}
 	return r, nil
 }
@@ -73,7 +75,7 @@ func (c *Cascade) SnapshotState() ([]byte, error) {
 	for i, s := range c.stages {
 		snap, ok := s.(enforcer.Snapshotter)
 		if !ok {
-			return nil, fmt.Errorf("cascade: stage %d (%T) is not snapshottable", i, s)
+			return nil, fmt.Errorf("cascade: stage %d (%T): %w", i, s, enforcer.ErrNotSnapshottable)
 		}
 		blob, err := snap.SnapshotState()
 		if err != nil {
@@ -120,7 +122,7 @@ func (c *Cascade) RestoreState(data []byte) error {
 	for i, s := range c.stages {
 		snap, ok := s.(enforcer.Snapshotter)
 		if !ok {
-			return fmt.Errorf("cascade: stage %d (%T) is not snapshottable", i, s)
+			return fmt.Errorf("cascade: stage %d (%T): %w", i, s, enforcer.ErrNotSnapshottable)
 		}
 		snaps[i] = snap
 	}

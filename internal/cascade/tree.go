@@ -1,0 +1,133 @@
+package cascade
+
+import (
+	"fmt"
+	"time"
+
+	"bcpqp/internal/enforcer"
+	"bcpqp/internal/packet"
+)
+
+// Cascade as the degenerate unary policy tree: a linear chain is a tree in
+// which every node has exactly one child. Stage i is node i, node 0 (the
+// outermost stage — the subscriber's own limit) is the only leaf, and each
+// node's parent is the next-inner stage, so the root is the innermost
+// (link) stage. This file retrofits enforcer.TreeEnforcer onto Cascade so
+// the mbox engine's node-addressed datapath and control plane (leaf
+// handles, per-node reconfiguration, per-node metrics) work uniformly over
+// chains and real trees.
+
+// NumNodes implements enforcer.TreeEnforcer: one node per stage.
+func (c *Cascade) NumNodes() int { return len(c.stages) }
+
+// Parent implements enforcer.TreeEnforcer: node i's parent is stage i+1;
+// the innermost stage is the root.
+func (c *Cascade) Parent(node enforcer.NodeID) enforcer.NodeID {
+	if int(node) < 0 || int(node) >= len(c.stages)-1 {
+		return enforcer.NoNode
+	}
+	return node + 1
+}
+
+// IsLeaf implements enforcer.TreeEnforcer: a chain has exactly one leaf,
+// its outermost stage.
+func (c *Cascade) IsLeaf(node enforcer.NodeID) bool { return node == 0 && len(c.stages) > 0 }
+
+// NodeLabel implements enforcer.TreeEnforcer.
+func (c *Cascade) NodeLabel(node enforcer.NodeID) string {
+	if int(node) < 0 || int(node) >= len(c.stages) {
+		return ""
+	}
+	return fmt.Sprintf("stage%d", node)
+}
+
+// SubmitAt implements enforcer.TreeEnforcer: enforce stages node..root with
+// the same packet-major two-phase admission as Submit. SubmitAt(now, 0, pkt)
+// is byte-identical to Submit(now, pkt). An out-of-range node fails closed.
+func (c *Cascade) SubmitAt(now time.Duration, node enforcer.NodeID, pkt packet.Packet) enforcer.Verdict {
+	if int(node) < 0 || int(node) >= len(c.stages) {
+		c.stats.Reject(pkt.Size)
+		return enforcer.Drop
+	}
+	for i := int(node); i < len(c.stages); i++ {
+		if !c.stages[i].Probe(now, pkt) {
+			c.DroppedAt[i]++
+			c.stats.Reject(pkt.Size)
+			return enforcer.Drop
+		}
+	}
+	for i := int(node); i < len(c.stages); i++ {
+		c.stages[i].Commit(now, pkt)
+	}
+	c.stats.Accept(pkt.Size)
+	return enforcer.Transmit
+}
+
+// SubmitBatchAt implements enforcer.TreeEnforcer with the packet-major
+// burst loop of SubmitBatch over the stages node..root.
+func (c *Cascade) SubmitBatchAt(now time.Duration, node enforcer.NodeID, pkts []packet.Packet, verdicts []enforcer.Verdict) {
+	verdicts = verdicts[:len(pkts)]
+	if int(node) < 0 || int(node) >= len(c.stages) {
+		for i := range pkts {
+			c.stats.Reject(pkts[i].Size)
+			verdicts[i] = enforcer.Drop
+		}
+		return
+	}
+	stages := c.stages[node:]
+	droppedAt := c.DroppedAt[node:]
+packets:
+	for i := range pkts {
+		for j, s := range stages {
+			if !s.Probe(now, pkts[i]) {
+				droppedAt[j]++
+				c.stats.Reject(pkts[i].Size)
+				verdicts[i] = enforcer.Drop
+				continue packets
+			}
+		}
+		for _, s := range stages {
+			s.Commit(now, pkts[i])
+		}
+		c.stats.Accept(pkts[i].Size)
+		verdicts[i] = enforcer.Transmit
+	}
+}
+
+// NodeStats implements enforcer.TreeEnforcer, reading the stage's own
+// statistics (stages count committed packets; probe rejections are
+// attributed through DroppedAt). Stages without a StatsReader report
+// enforcer.ErrNoStats.
+func (c *Cascade) NodeStats(node enforcer.NodeID) (enforcer.Stats, error) {
+	if int(node) < 0 || int(node) >= len(c.stages) {
+		return enforcer.Stats{}, fmt.Errorf("cascade: stage %d out of range [0,%d): %w",
+			node, len(c.stages), enforcer.ErrBadNode)
+	}
+	sr, ok := c.stages[node].(enforcer.StatsReader)
+	if !ok {
+		return enforcer.Stats{}, fmt.Errorf("cascade: stage %d (%T): %w",
+			node, c.stages[node], enforcer.ErrNoStats)
+	}
+	return sr.EnforcerStats(), nil
+}
+
+// NodeReconfigurer implements enforcer.TreeEnforcer.
+func (c *Cascade) NodeReconfigurer(node enforcer.NodeID) (enforcer.Reconfigurer, error) {
+	return c.reconfigurer(int(node))
+}
+
+// NodeSnapshotter implements enforcer.TreeEnforcer.
+func (c *Cascade) NodeSnapshotter(node enforcer.NodeID) (enforcer.Snapshotter, error) {
+	if int(node) < 0 || int(node) >= len(c.stages) {
+		return nil, fmt.Errorf("cascade: stage %d out of range [0,%d): %w",
+			node, len(c.stages), enforcer.ErrBadNode)
+	}
+	snap, ok := c.stages[node].(enforcer.Snapshotter)
+	if !ok {
+		return nil, fmt.Errorf("cascade: stage %d (%T): %w",
+			node, c.stages[node], enforcer.ErrNotSnapshottable)
+	}
+	return snap, nil
+}
+
+var _ enforcer.TreeEnforcer = (*Cascade)(nil)

@@ -1,0 +1,88 @@
+package cascade
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"bcpqp/internal/enforcer"
+	"bcpqp/internal/rng"
+	"bcpqp/internal/tbf"
+	"bcpqp/internal/units"
+)
+
+// TestTreeRetrofitTopology: a chain reads as the degenerate unary tree —
+// stage 0 the only leaf, the innermost stage the root.
+func TestTreeRetrofitTopology(t *testing.T) {
+	c := MustNew(newPQP(5*units.Mbps, 4), newPQP(20*units.Mbps, 16))
+	var tree enforcer.TreeEnforcer = c
+	if got := tree.NumNodes(); got != 2 {
+		t.Fatalf("NumNodes = %d", got)
+	}
+	if tree.Parent(0) != 1 || tree.Parent(1) != enforcer.NoNode {
+		t.Errorf("parents: %d, %d", tree.Parent(0), tree.Parent(1))
+	}
+	if !tree.IsLeaf(0) || tree.IsLeaf(1) {
+		t.Error("leaf detection wrong")
+	}
+	if tree.NodeLabel(1) != "stage1" || tree.NodeLabel(9) != "" {
+		t.Errorf("labels: %q, %q", tree.NodeLabel(1), tree.NodeLabel(9))
+	}
+}
+
+// TestSubmitAtEquivalence: SubmitAt(0) is byte-identical to Submit, and an
+// interior entry skips exactly the outer stages.
+func TestSubmitAtEquivalence(t *testing.T) {
+	mk := func() *Cascade {
+		return MustNew(newPQP(5*units.Mbps, 4), newPQP(20*units.Mbps, 16))
+	}
+	plain, at := mk(), mk()
+	r := rng.New(3)
+	now := time.Duration(0)
+	for i := 0; i < 5000; i++ {
+		now += time.Duration(r.IntN(int(time.Millisecond)))
+		p := pkt(uint32(i), r.IntN(4))
+		if vp, va := plain.Submit(now, p), at.SubmitAt(now, 0, p); vp != va {
+			t.Fatalf("pkt %d: Submit %v, SubmitAt(0) %v", i, vp, va)
+		}
+	}
+	if s1, s2 := plain.EnforcerStats(), at.EnforcerStats(); s1 != s2 {
+		t.Errorf("stats diverged: %+v vs %+v", s1, s2)
+	}
+	// Entry at the root runs only the innermost stage: the tight outer
+	// limit no longer applies.
+	inner := MustNew(tbf.MustNew(units.Mbps, 2*units.MSS), tbf.MustNew(100*units.Mbps, 100*units.MSS))
+	acc := 0
+	for i := 0; i < 20; i++ {
+		if inner.SubmitAt(0, 1, pkt(uint32(i), 0)) == enforcer.Transmit {
+			acc++
+		}
+	}
+	if acc < 20 {
+		t.Errorf("root-entry admitted %d/20 through the 100 Mbps stage alone", acc)
+	}
+	if inner.SubmitAt(0, 5, pkt(0, 0)) != enforcer.Drop {
+		t.Error("out-of-range SubmitAt must fail closed")
+	}
+}
+
+// TestCascadeNodeSentinels: the retrofit reports addressing and capability
+// failures with the typed enforcer sentinels.
+func TestCascadeNodeSentinels(t *testing.T) {
+	c := MustNew(newPQP(5*units.Mbps, 4))
+	if _, err := c.NodeStats(7); !errors.Is(err, enforcer.ErrBadNode) {
+		t.Errorf("NodeStats(7): %v, want ErrBadNode", err)
+	}
+	if _, err := c.NodeReconfigurer(7); !errors.Is(err, enforcer.ErrBadNode) {
+		t.Errorf("NodeReconfigurer(7): %v, want ErrBadNode", err)
+	}
+	if _, err := c.NodeSnapshotter(7); !errors.Is(err, enforcer.ErrBadNode) {
+		t.Errorf("NodeSnapshotter(7): %v, want ErrBadNode", err)
+	}
+	if _, err := c.NodeReconfigurer(0); err != nil {
+		t.Errorf("PQP stage should be reconfigurable: %v", err)
+	}
+	if st, err := c.NodeStats(0); err != nil || st.AcceptedPackets != 0 {
+		t.Errorf("fresh NodeStats: %+v, %v", st, err)
+	}
+}

@@ -90,8 +90,10 @@ func packHandle(slot int, gen uint32) Handle {
 }
 
 // ErrNoStats reports that an aggregate's enforcer does not implement
-// enforcer.StatsReader. Test with errors.Is.
-var ErrNoStats = errors.New("enforcer exposes no stats")
+// enforcer.StatsReader. It is the shared enforcer.ErrNoStats sentinel, so
+// engine-level and node-level stats errors test identically. Test with
+// errors.Is.
+var ErrNoStats = enforcer.ErrNoStats
 
 // ErrStale reports a handle whose aggregate has been removed or evicted.
 // The slot may since have been recycled for a different aggregate; the
@@ -106,8 +108,16 @@ var ErrStale = errors.New("stale handle")
 var ErrTableFull = errors.New("aggregate table full")
 
 // ErrNotReconfigurable reports that an aggregate's enforcer does not
-// implement enforcer.Reconfigurer. Test with errors.Is.
-var ErrNotReconfigurable = errors.New("enforcer is not reconfigurable")
+// implement enforcer.Reconfigurer. It is the shared
+// enforcer.ErrNotReconfigurable sentinel, so engine-level and node-level
+// reconfiguration errors test identically. Test with errors.Is.
+var ErrNotReconfigurable = enforcer.ErrNotReconfigurable
+
+// ErrBadNode reports a node-addressed operation against a node the
+// aggregate does not have (out of tree range, or any node other than the
+// root of a flat single-enforcer aggregate). It is the shared
+// enforcer.ErrBadNode sentinel. Test with errors.Is.
+var ErrBadNode = enforcer.ErrBadNode
 
 // ErrSaturated reports that a control operation could not reach its shard
 // within ControlTimeout on either the ordered data ring or the priority
@@ -323,6 +333,14 @@ type aggregate struct {
 	emit  Emit
 	shard *shard
 
+	// tree is set when the enforcer is node-addressable
+	// (enforcer.TreeEnforcer): a policy tree or a cascade chain. It opens
+	// the aggregate's per-tree handle namespace — leaf handles resolve to
+	// (aggregate, node), node-addressed bursts enter the tree at their
+	// node, and the per-node control plane (UpdateNode, NodeStats) routes
+	// through it. Nil for flat single-enforcer aggregates.
+	tree enforcer.TreeEnforcer
+
 	// Fault state. quarantined is the circuit breaker: once set, the
 	// datapath never calls the enforcer again until Reinstate.
 	quarantined    atomic.Bool
@@ -347,11 +365,16 @@ type aggregate struct {
 
 // burst is one ring slot of work: either a single-aggregate burst (agg set,
 // from SubmitBatch) or a mixed coalesced burst (aggs parallel to pkts, from
-// staged single-packet Submits). Bursts are pooled; the engine owns them.
+// staged single-packet Submits). node (single) / nodes (parallel to pkts)
+// carry the tree-node ingress for leaf-addressed submissions; NoNode means
+// whole-aggregate submission (node 0 is a valid node, so the zero value
+// must never be used as "unset"). Bursts are pooled; the engine owns them.
 type burst struct {
-	pkts []packet.Packet
-	aggs []*aggregate
-	agg  *aggregate
+	pkts  []packet.Packet
+	aggs  []*aggregate
+	nodes []enforcer.NodeID
+	agg   *aggregate
+	node  enforcer.NodeID
 }
 
 // item is one unit of shard work.
@@ -455,8 +478,10 @@ func New(cfg Config) *Engine {
 	}
 	e.pool.New = func() any {
 		return &burst{
-			pkts: make([]packet.Packet, 0, cfg.FlushBurst),
-			aggs: make([]*aggregate, 0, cfg.FlushBurst),
+			pkts:  make([]packet.Packet, 0, cfg.FlushBurst),
+			aggs:  make([]*aggregate, 0, cfg.FlushBurst),
+			nodes: make([]enforcer.NodeID, 0, cfg.FlushBurst),
+			node:  enforcer.NoNode,
 		}
 	}
 	e.table.Store(&registry{byID: make(map[string]Handle)})
@@ -536,19 +561,20 @@ func (e *Engine) process(s *shard, it item) bool {
 	now := e.cfg.Clock()
 	if b.agg != nil {
 		b.agg.lastActive.Store(wall)
-		e.runBatch(s, now, b.agg, b.pkts)
+		e.runBatch(s, now, b.agg, b.node, b.pkts)
 	} else {
-		// Mixed coalesced burst: group consecutive same-aggregate runs
-		// so each run goes through the enforcer's native batch path.
+		// Mixed coalesced burst: group consecutive same-(aggregate, node)
+		// runs so each run goes through the enforcer's native batch path
+		// with a single path resolution.
 		for i := 0; i < len(b.pkts); {
 			j := i + 1
-			for j < len(b.pkts) && b.aggs[j] == b.aggs[i] {
+			for j < len(b.pkts) && b.aggs[j] == b.aggs[i] && b.nodes[j] == b.nodes[i] {
 				j++
 			}
 			// One coarse idle-TTL stamp per run, reusing the wall time
 			// already read for the heartbeat: no per-packet atomics.
 			b.aggs[i].lastActive.Store(wall)
-			e.runBatch(s, now, b.aggs[i], b.pkts[i:j])
+			e.runBatch(s, now, b.aggs[i], b.nodes[i], b.pkts[i:j])
 			i = j
 		}
 	}
@@ -579,12 +605,12 @@ func (e *Engine) runControl(s *shard, it item) {
 // aggregate's DegradeMode). A run that panics mid-flight quarantines the
 // aggregate once the circuit-breaker threshold is reached and degrades the
 // unhandled remainder of the run, and the shard goroutine survives.
-func (e *Engine) runBatch(s *shard, now time.Duration, agg *aggregate, pkts []packet.Packet) {
+func (e *Engine) runBatch(s *shard, now time.Duration, agg *aggregate, node enforcer.NodeID, pkts []packet.Packet) {
 	if agg.quarantined.Load() {
 		e.degrade(s, agg, pkts)
 		return
 	}
-	if rest, faulted := e.enforceRun(s, now, agg, pkts); faulted {
+	if rest, faulted := e.enforceRun(s, now, agg, node, pkts); faulted {
 		e.degrade(s, agg, rest)
 	}
 }
@@ -594,7 +620,7 @@ func (e *Engine) runBatch(s *shard, now time.Duration, agg *aggregate, pkts []pa
 // whole run when the enforcer itself panicked (no verdicts are trustworthy),
 // or the un-emitted tail when the emit hook panicked (the packet in flight
 // at the panic is indeterminate and is skipped).
-func (e *Engine) enforceRun(s *shard, now time.Duration, agg *aggregate, pkts []packet.Packet) (rest []packet.Packet, faulted bool) {
+func (e *Engine) enforceRun(s *shard, now time.Duration, agg *aggregate, node enforcer.NodeID, pkts []packet.Packet) (rest []packet.Packet, faulted bool) {
 	enforced := false
 	emitting := -1
 	defer func() {
@@ -614,10 +640,17 @@ func (e *Engine) enforceRun(s *shard, now time.Duration, agg *aggregate, pkts []
 		s.verdicts = make([]enforcer.Verdict, len(pkts))
 	}
 	v := s.verdicts[:len(pkts)]
-	enforcer.SubmitBatch(agg.enf, now, pkts, v)
+	if agg.tree != nil && node != enforcer.NoNode {
+		// Node-addressed run: enter the aggregate's tree at the leaf the
+		// handle resolved to. NoNode means whole-aggregate submission,
+		// which routes through the tree's own Enforcer implementation.
+		agg.tree.SubmitBatchAt(now, node, pkts, v)
+	} else {
+		enforcer.SubmitBatch(agg.enf, now, pkts, v)
+	}
 	enforced = true
 	if agg.obs != nil {
-		e.observeRun(s, now, agg, pkts, v)
+		e.observeRun(s, now, agg, node, pkts, v)
 	}
 	if agg.emit == nil {
 		return nil, false
@@ -646,7 +679,7 @@ func (e *Engine) enforceRun(s *shard, now time.Duration, agg *aggregate, pkts []
 // immediately after the verdicts are written: the tally is a single pass
 // over the verdict slice plus a handful of atomic adds — no per-packet
 // atomics, no interface calls, no allocation.
-func (e *Engine) observeRun(s *shard, now time.Duration, agg *aggregate, pkts []packet.Packet, v []enforcer.Verdict) {
+func (e *Engine) observeRun(s *shard, now time.Duration, agg *aggregate, node enforcer.NodeID, pkts []packet.Packet, v []enforcer.Verdict) {
 	var accPkts, accBytes, drpPkts, drpBytes int64
 	for i, verdict := range v {
 		sz := int64(pkts[i].Size)
@@ -665,6 +698,7 @@ func (e *Engine) observeRun(s *shard, now time.Duration, agg *aggregate, pkts []
 			Kind: obs.KindBurst,
 			VT:   int64(now),
 			Agg:  int64(agg.h),
+			Node: int32(node),
 			A:    accPkts,
 			B:    drpPkts,
 			C:    accBytes + drpBytes,
@@ -693,7 +727,7 @@ func (e *Engine) recordControl(id string, kind obs.Kind) {
 	if e.cfg.Observer == nil {
 		return
 	}
-	ev := obs.Event{Kind: kind, Shard: -1, Agg: -1}
+	ev := obs.Event{Kind: kind, Shard: -1, Agg: -1, Node: -1}
 	if agg, err := e.aggByID(id); err == nil {
 		ev.Agg = int64(agg.h)
 	}
@@ -753,9 +787,9 @@ func (e *Engine) notePanic(s *shard, agg *aggregate, recovered any) {
 			quarantined = !agg.quarantined.Swap(true)
 		}
 	}
-	e.record(s, obs.Event{Kind: obs.KindPanic, Agg: aggH})
+	e.record(s, obs.Event{Kind: obs.KindPanic, Agg: aggH, Node: -1})
 	if quarantined {
-		e.record(s, obs.Event{Kind: obs.KindQuarantine, Agg: aggH, A: agg.panics.Load()})
+		e.record(s, obs.Event{Kind: obs.KindQuarantine, Agg: aggH, Node: -1, A: agg.panics.Load()})
 	}
 	if e.cfg.OnFault != nil {
 		e.cfg.OnFault(id, recovered, debug.Stack())
@@ -806,7 +840,7 @@ func (e *Engine) enqueue(s *shard, b *burst) {
 			s.shedAccum += n
 			if s.shedTick--; s.shedTick <= 0 {
 				s.shedTick = e.obsSample
-				s.obs.Record(obs.Event{Kind: obs.KindShed, Agg: -1, A: s.shedAccum})
+				s.obs.Record(obs.Event{Kind: obs.KindShed, Agg: -1, Node: -1, A: s.shedAccum})
 				s.shedAccum = 0
 			}
 		}
@@ -826,7 +860,9 @@ func (e *Engine) putBurst(b *burst) {
 	clear(b.aggs)
 	b.pkts = b.pkts[:0]
 	b.aggs = b.aggs[:0]
+	b.nodes = b.nodes[:0]
 	b.agg = nil
+	b.node = enforcer.NoNode
 	e.pool.Put(b)
 }
 
@@ -888,6 +924,12 @@ func (e *Engine) Add(id string, enf enforcer.Enforcer, emit Emit) (Handle, error
 	h := packHandle(slot, gen)
 
 	agg := &aggregate{id: id, h: h, enf: enf, emit: emit, shard: e.shardFor(id)}
+	if tree, ok := enf.(enforcer.TreeEnforcer); ok {
+		// Node-addressable enforcer (policy tree, cascade chain): open its
+		// per-tree handle namespace. Whole-aggregate submission through h
+		// is unchanged; Leaf(h, node) mints node-addressed handles.
+		agg.tree = tree
+	}
 	agg.mode.Store(int32(e.cfg.DegradeMode))
 	agg.lastActive.Store(time.Now().UnixNano())
 	if e.cfg.Observer != nil {
@@ -930,7 +972,7 @@ func (e *Engine) Remove(id string) (enforcer.Stats, error) {
 	if err != nil {
 		return enforcer.Stats{}, err
 	}
-	e.record(nil, obs.Event{Kind: obs.KindRemove, Agg: int64(agg.h)})
+	e.record(nil, obs.Event{Kind: obs.KindRemove, Agg: int64(agg.h), Node: -1})
 	return e.finalStats(agg)
 }
 
@@ -1044,6 +1086,7 @@ func (e *Engine) Submit(h Handle, pkt packet.Packet) error {
 	}
 	b.pkts = append(b.pkts, pkt)
 	b.aggs = append(b.aggs, agg)
+	b.nodes = append(b.nodes, enforcer.NoNode)
 	if len(b.pkts) >= e.cfg.FlushBurst {
 		s.staged = nil
 		e.enqueue(s, b)
@@ -1158,7 +1201,7 @@ func (e *Engine) controlAgg(agg *aggregate, fn func(enforcer.Enforcer)) error {
 	case <-timer.C:
 		// Ordered ring saturated: fail over to the priority lane.
 		e.ControlFailovers.Add(1)
-		e.record(s, obs.Event{Kind: obs.KindFailover, Agg: int64(agg.h)})
+		e.record(s, obs.Event{Kind: obs.KindFailover, Agg: int64(agg.h), Node: -1})
 		timer.Reset(e.cfg.ControlTimeout)
 		select {
 		case s.ctrl <- it:
@@ -1291,7 +1334,7 @@ func (e *Engine) sweep() {
 		}
 		final, _ := e.finalStats(evicted) // zero Stats when unobtainable
 		e.Evicted.Add(1)
-		e.record(nil, obs.Event{Kind: obs.KindEvict, Agg: int64(evicted.h)})
+		e.record(nil, obs.Event{Kind: obs.KindEvict, Agg: int64(evicted.h), Node: -1})
 		if e.cfg.OnEvict != nil {
 			e.cfg.OnEvict(evicted.id, final)
 		}
@@ -1382,7 +1425,7 @@ func (e *Engine) Reinstate(id string) error {
 	}
 	agg.panics.Store(0)
 	if agg.quarantined.Swap(false) {
-		e.record(nil, obs.Event{Kind: obs.KindReinstate, Agg: int64(agg.h)})
+		e.record(nil, obs.Event{Kind: obs.KindReinstate, Agg: int64(agg.h), Node: -1})
 	}
 	return nil
 }

@@ -2,8 +2,10 @@ package mbox
 
 import (
 	"strconv"
+	"strings"
 	"time"
 
+	"bcpqp/internal/enforcer"
 	"bcpqp/internal/obs"
 )
 
@@ -15,6 +17,26 @@ type TraceEvent struct {
 	// the current registry; empty for engine-level events and for
 	// aggregates removed or evicted since the event was recorded.
 	AggID string
+	// NodePath is the root→node label path ("tenant/plan/sub") of the
+	// event's tree node when the event is node-attributed (Node >= 0) and
+	// the aggregate still resolves to a tree; empty otherwise.
+	NodePath string
+}
+
+// nodePath renders the root→node label path. Topology accessors are
+// immutable after construction, so this is safe against a live tree.
+func nodePath(tree enforcer.TreeEnforcer, node enforcer.NodeID) string {
+	if int(node) < 0 || int(node) >= tree.NumNodes() {
+		return ""
+	}
+	var labels []string
+	for v := node; v != enforcer.NoNode; v = tree.Parent(v) {
+		labels = append(labels, tree.NodeLabel(v))
+	}
+	for i, j := 0, len(labels)-1; i < j; i, j = i+1, j-1 {
+		labels[i], labels[j] = labels[j], labels[i]
+	}
+	return strings.Join(labels, "/")
 }
 
 // TraceDump snapshots every flight-recorder ring without stopping the
@@ -35,6 +57,9 @@ func (e *Engine) TraceDump() []TraceEvent {
 		if h := Handle(ev.Agg); h > 0 && h.slot() < len(t.slots) {
 			if agg := t.slots[h.slot()]; agg != nil && agg.h == h {
 				te.AggID = agg.id
+				if agg.tree != nil && ev.Node >= 0 {
+					te.NodePath = nodePath(agg.tree, enforcer.NodeID(ev.Node))
+				}
 			}
 		}
 		out[i] = te
@@ -147,4 +172,85 @@ func (e *Engine) Metrics() obs.Snapshot {
 		})
 	}
 	return obs.Snapshot{Families: fams}
+}
+
+// maxNodeMetricSamples bounds how many nodes one NodeMetrics call exports:
+// a million-leaf tree cannot ship a million label sets to a scraper. Nodes
+// are exported in index order — topological, parents before children — and
+// leaves are skipped entirely when the tree exceeds the cap, so the upper
+// layers (tenant, plan) always make the cut and the truncation is visible
+// through bcpqp_tree_nodes vs bcpqp_tree_nodes_exported.
+const maxNodeMetricSamples = 1024
+
+// NodeMetrics builds an export snapshot of one aggregate's per-node
+// accounting: per-node accepted/dropped counters labelled with the node
+// index and its root→node label path, plus tree-size gauges. Unlike
+// Metrics — which reads only atomics and is safe at any scrape rate — the
+// node counters live in the tree's shard-owned arrays, so this read rides
+// an in-band control barrier: it is consistent (a point-in-time cut
+// between bursts, reflecting every packet submitted before the call) but
+// costs one shard round-trip and should be scraped accordingly. A flat
+// aggregate exports its single enforcer as node 0.
+func (e *Engine) NodeMetrics(id string) (obs.Snapshot, error) {
+	agg, err := e.aggByID(id)
+	if err != nil {
+		return obs.Snapshot{}, err
+	}
+	type row struct {
+		node  int32
+		path  string
+		stats enforcer.Stats
+	}
+	var rows []row
+	total := 1
+	err = e.controlAgg(agg, func(enf enforcer.Enforcer) {
+		tree := agg.tree
+		if tree == nil {
+			if sr, ok := enf.(enforcer.StatsReader); ok {
+				rows = append(rows, row{node: 0, path: id, stats: sr.EnforcerStats()})
+			}
+			return
+		}
+		n := tree.NumNodes()
+		total = n
+		skipLeaves := n > maxNodeMetricSamples
+		for i := 0; i < n && len(rows) < maxNodeMetricSamples; i++ {
+			node := enforcer.NodeID(i)
+			if skipLeaves && tree.IsLeaf(node) {
+				continue
+			}
+			st, serr := tree.NodeStats(node)
+			if serr != nil {
+				continue
+			}
+			rows = append(rows, row{node: int32(i), path: nodePath(tree, node), stats: st})
+		}
+	})
+	if err != nil {
+		return obs.Snapshot{}, err
+	}
+	aggLbl := obs.Label{Name: "aggregate", Value: id}
+	fams := []obs.Family{
+		{Name: "bcpqp_tree_nodes", Help: "nodes in the aggregate's policy tree", Type: "gauge",
+			Samples: []obs.Sample{{Labels: []obs.Label{aggLbl}, Value: float64(total)}}},
+		{Name: "bcpqp_tree_nodes_exported", Help: "nodes included in this per-node export", Type: "gauge",
+			Samples: []obs.Sample{{Labels: []obs.Label{aggLbl}, Value: float64(len(rows))}}},
+		{Name: "bcpqp_node_accepted_packets_total", Help: "packets admitted through the node's subtree", Type: "counter"},
+		{Name: "bcpqp_node_accepted_bytes_total", Help: "bytes admitted through the node's subtree", Type: "counter"},
+		{Name: "bcpqp_node_dropped_packets_total", Help: "packets dropped attributed to the node", Type: "counter"},
+		{Name: "bcpqp_node_dropped_bytes_total", Help: "bytes dropped attributed to the node", Type: "counter"},
+	}
+	for _, r := range rows {
+		lbl := []obs.Label{aggLbl,
+			{Name: "node", Value: strconv.Itoa(int(r.node))},
+			{Name: "path", Value: r.path}}
+		vals := []float64{
+			float64(r.stats.AcceptedPackets), float64(r.stats.AcceptedBytes),
+			float64(r.stats.DroppedPackets), float64(r.stats.DroppedBytes),
+		}
+		for j := range vals {
+			fams[2+j].Samples = append(fams[2+j].Samples, obs.Sample{Labels: lbl, Value: vals[j]})
+		}
+	}
+	return obs.Snapshot{Families: fams}, nil
 }

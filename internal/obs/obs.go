@@ -129,15 +129,19 @@ type Event struct {
 	Shard int32
 	// Agg is the aggregate's engine handle, -1 when unattributed.
 	Agg int64
+	// Node is the policy-tree node the event is attributed to within the
+	// aggregate, -1 when unattributed (flat aggregates, whole-aggregate
+	// events). Producers must set -1 explicitly: node 0 is a valid node.
+	Node int32
 	// A, B, C are the kind-specific arguments.
 	A, B, C int64
 }
 
 // String renders the event as one structured key=value trace line.
 func (e Event) String() string {
-	return fmt.Sprintf("seq=%d wall=%s vt=%s kind=%s shard=%d agg=%d a=%d b=%d c=%d",
+	return fmt.Sprintf("seq=%d wall=%s vt=%s kind=%s shard=%d agg=%d node=%d a=%d b=%d c=%d",
 		e.Seq, time.Unix(0, e.Wall).UTC().Format(time.RFC3339Nano),
-		time.Duration(e.VT), e.Kind, e.Shard, e.Agg, e.A, e.B, e.C)
+		time.Duration(e.VT), e.Kind, e.Shard, e.Agg, e.Node, e.A, e.B, e.C)
 }
 
 // Recorder consumes trace events. Collector and ShardObs implement it; the

@@ -1,0 +1,308 @@
+package ptree
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"bcpqp/internal/enforcer"
+	"bcpqp/internal/sched"
+	"bcpqp/internal/units"
+)
+
+// treeSnapVersion is the format version of Tree snapshot blobs.
+const treeSnapVersion = 1
+
+// NodeReconfigurer implements enforcer.TreeEnforcer, exposing the node's
+// ceiling stage for in-place rate/policy changes.
+func (t *Tree) NodeReconfigurer(node enforcer.NodeID) (enforcer.Reconfigurer, error) {
+	if int(node) < 0 || int(node) >= len(t.parent) {
+		return nil, fmt.Errorf("ptree: node %d out of range [0,%d): %w",
+			node, len(t.parent), enforcer.ErrBadNode)
+	}
+	r, ok := t.stages[node].(enforcer.Reconfigurer)
+	if !ok || t.stages[node] == nil {
+		return nil, fmt.Errorf("ptree: node %d (%T): %w",
+			node, t.stages[node], enforcer.ErrNotReconfigurable)
+	}
+	return r, nil
+}
+
+// SetNodeRate changes one node's ceiling rate in place. Like every
+// Reconfigurer, the old rate's accounting is settled first, so acceptance
+// over any reconfiguration obeys the piecewise bound r₁·Δt₁ + r₂·Δt₂ + B.
+func (t *Tree) SetNodeRate(now time.Duration, node enforcer.NodeID, rate units.Rate) error {
+	r, err := t.NodeReconfigurer(node)
+	if err != nil {
+		return err
+	}
+	return r.SetRate(now, rate)
+}
+
+// SetNodePolicy changes one node's ceiling rate-sharing policy in place.
+func (t *Tree) SetNodePolicy(now time.Duration, node enforcer.NodeID, policy *sched.Policy) error {
+	r, err := t.NodeReconfigurer(node)
+	if err != nil {
+		return err
+	}
+	return r.SetPolicy(now, policy)
+}
+
+// setEffRate retargets one node's effective refill rate, settling accrued
+// income at the old rate first (the same settle-then-switch discipline as
+// tbf.SetRate). A node joining the assured layer gets a fresh full default
+// bucket; one leaving it drops its bucket entirely.
+func (t *Tree) setEffRate(now time.Duration, n int32, eff float64) {
+	if eff == t.effRate[n] {
+		return
+	}
+	if t.effRate[n] > 0 {
+		t.refillNode(n, now)
+	}
+	t.effRate[n] = eff
+	switch {
+	case eff == 0:
+		t.burst[n], t.tokens[n] = 0, 0
+	case t.burst[n] == 0:
+		b := eff * DefaultBurstWindow.Seconds()
+		if b < units.MSS {
+			b = units.MSS
+		}
+		t.burst[n], t.tokens[n] = b, b
+		t.lastFill[n] = now
+	}
+	t.floor[n] = 0
+	if t.firstChild[n] != -1 {
+		t.floor[n] = -t.burst[n]
+	}
+	if t.tokens[n] < t.floor[n] {
+		t.tokens[n] = t.floor[n]
+	}
+}
+
+func (t *Tree) childEffSum(n int32) float64 {
+	var s float64
+	for c := t.firstChild[n]; c >= 0; c = t.nextSibling[c] {
+		s += t.effRate[c]
+	}
+	return s
+}
+
+// SetNodeAssured changes one node's assured rate in place and re-derives
+// the lend rates of every ancestor pool that inherits from its children
+// (propagation stops at the first ancestor with its own assured rate).
+// Every touched bucket settles income at its old rate before switching, so
+// borrow-layer admission obeys the same piecewise bound as ceiling
+// reconfiguration. Zero removes the node from the assured layer.
+func (t *Tree) SetNodeAssured(now time.Duration, node enforcer.NodeID, rate units.Rate) error {
+	if int(node) < 0 || int(node) >= len(t.parent) {
+		return fmt.Errorf("ptree: node %d out of range [0,%d): %w",
+			node, len(t.parent), enforcer.ErrBadNode)
+	}
+	if rate < 0 {
+		return fmt.Errorf("ptree: node %d: negative assured rate %v", node, rate)
+	}
+	n := int32(node)
+	t.ownAssured[n] = rate.BytesPerSecond()
+	eff := t.ownAssured[n]
+	if eff == 0 {
+		eff = t.childEffSum(n)
+	}
+	t.setEffRate(now, n, eff)
+	for p := t.parent[n]; p >= 0; p = t.parent[p] {
+		if t.ownAssured[p] > 0 {
+			break
+		}
+		t.setEffRate(now, p, t.childEffSum(p))
+	}
+	return nil
+}
+
+// SetRate implements enforcer.Reconfigurer by forwarding to the root
+// ceiling — retargeting the whole tree's aggregate limit, the operation a
+// link-capacity change maps to. Per-node changes go through SetNodeRate.
+func (t *Tree) SetRate(now time.Duration, rate units.Rate) error {
+	return t.SetNodeRate(now, 0, rate)
+}
+
+// SetPolicy implements enforcer.Reconfigurer by forwarding to the root
+// ceiling (see SetRate for why).
+func (t *Tree) SetPolicy(now time.Duration, policy *sched.Policy) error {
+	return t.SetNodePolicy(now, 0, policy)
+}
+
+// NodeSnapshotter implements enforcer.TreeEnforcer, exposing the node's
+// ceiling stage for per-node state capture.
+func (t *Tree) NodeSnapshotter(node enforcer.NodeID) (enforcer.Snapshotter, error) {
+	if int(node) < 0 || int(node) >= len(t.parent) {
+		return nil, fmt.Errorf("ptree: node %d out of range [0,%d): %w",
+			node, len(t.parent), enforcer.ErrBadNode)
+	}
+	snap, ok := t.stages[node].(enforcer.Snapshotter)
+	if !ok || t.stages[node] == nil {
+		return nil, fmt.Errorf("ptree: node %d (%T): %w",
+			node, t.stages[node], enforcer.ErrNotSnapshottable)
+	}
+	return snap, nil
+}
+
+// SnapshotState implements enforcer.Snapshotter: the tree's verdict
+// accounting plus every node's borrow-layer state, counters and ceiling
+// blob, in index order.
+//
+// Layout: u8 version, stats, u32 node count, then per node: u32 index,
+// i64 parent, f64 tokens, dur lastFill, i64 ×4 (accepted pkts/bytes,
+// dropped pkts/bytes), length-prefixed ceiling blob (empty for stageless
+// nodes). The index and parent fields are config echo: they let the
+// decoder structurally validate an untrusted blob — ordering, duplicate
+// nodes, cycles — before trusting any of it.
+func (t *Tree) SnapshotState() ([]byte, error) {
+	var e enforcer.Enc
+	e.U8(treeSnapVersion)
+	e.Stats(t.stats)
+	e.U32(uint32(len(t.parent)))
+	for i := range t.parent {
+		var blob []byte
+		if s := t.stages[i]; s != nil {
+			snap, ok := s.(enforcer.Snapshotter)
+			if !ok {
+				return nil, fmt.Errorf("ptree: node %d (%T): %w", i, s, enforcer.ErrNotSnapshottable)
+			}
+			var err error
+			if blob, err = snap.SnapshotState(); err != nil {
+				return nil, fmt.Errorf("ptree: snapshotting node %d: %w", i, err)
+			}
+		}
+		e.U32(uint32(i))
+		e.I64(int64(t.parent[i]))
+		e.F64(t.tokens[i])
+		e.Dur(t.lastFill[i])
+		e.I64(t.accPkts[i])
+		e.I64(t.accBytes[i])
+		e.I64(t.drpPkts[i])
+		e.I64(t.drpBytes[i])
+		e.Bytes(blob)
+	}
+	return e.Out(), nil
+}
+
+// RestoreState implements enforcer.Snapshotter. The receiver must be built
+// over the same topology and per-node configuration. The blob is fully
+// structurally validated — node ordering, duplicates, parent range,
+// multiple roots, cycles, token ranges — before any receiver state is
+// touched; only per-node ceiling blob errors can interrupt mid-restore
+// (after which, like every Snapshotter, the receiver is discardable).
+func (t *Tree) RestoreState(data []byte) error {
+	d := enforcer.NewDec(data)
+	if v := d.U8(); d.Err() == nil && v != treeSnapVersion {
+		d.Fail("ptree: unsupported snapshot version %d (want %d)", v, treeSnapVersion)
+	}
+	stats := d.Stats()
+	n := len(t.parent)
+	if cnt := d.U32(); d.Err() == nil && int(cnt) != n {
+		d.Fail("ptree: snapshot has %d nodes, tree has %d", cnt, n)
+	}
+	if d.Err() != nil {
+		return d.Err()
+	}
+	parents := make([]int64, n)
+	tokens := make([]float64, n)
+	lastFill := make([]time.Duration, n)
+	counters := make([][4]int64, n)
+	blobs := make([][]byte, n)
+	for i := 0; i < n && d.Err() == nil; i++ {
+		idx := d.U32()
+		if d.Err() == nil && int(idx) != i {
+			d.Fail("ptree: node entry %d carries index %d (duplicate, out-of-order, or out-of-range node)", i, idx)
+		}
+		parents[i] = d.I64()
+		tokens[i] = d.F64()
+		lastFill[i] = d.Dur()
+		for k := 0; k < 4; k++ {
+			counters[i][k] = d.I64()
+		}
+		blobs[i] = d.Bytes()
+		if d.Err() != nil {
+			break
+		}
+		switch p := parents[i]; {
+		case i == 0 && p != -1:
+			d.Fail("ptree: root entry has parent %d (want -1)", p)
+		case i > 0 && p == -1:
+			d.Fail("ptree: node %d claims to be a second root", i)
+		case i > 0 && (p < 0 || p >= int64(n)):
+			d.Fail("ptree: node %d parent %d out of range [0,%d)", i, p, n)
+		case p == int64(i):
+			d.Fail("ptree: node %d is its own parent", i)
+		case math.IsNaN(tokens[i]) || math.IsInf(tokens[i], 0) || tokens[i] > t.burst[i]:
+			d.Fail("ptree: node %d tokens %g above capacity %g (or not finite)", i, tokens[i], t.burst[i])
+		case tokens[i] < 0 && (t.firstChild[i] == -1 || t.effRate[i] == 0):
+			// Only interior borrow pools may carry debt; leaf guarantee
+			// buckets clamp at zero and non-participating nodes hold none.
+			d.Fail("ptree: node %d negative tokens %g on a non-pool node", i, tokens[i])
+		case tokens[i] < t.floor[i]:
+			d.Fail("ptree: node %d tokens %g below the pool debt floor %g", i, tokens[i], t.floor[i])
+		case lastFill[i] < 0:
+			d.Fail("ptree: node %d negative refill clock %v", i, lastFill[i])
+		case counters[i][0] < 0 || counters[i][1] < 0 || counters[i][2] < 0 || counters[i][3] < 0:
+			d.Fail("ptree: node %d negative counters", i)
+		}
+	}
+	if err := d.Finish(); err != nil {
+		return err
+	}
+	// Acyclicity: walk each node rootward; a walk that does not terminate
+	// within n steps can only be circling. Independent of the receiver's
+	// topology — the blob is untrusted on its own terms.
+	for i := 0; i < n; i++ {
+		steps := 0
+		for v := int64(i); v >= 0; v = parents[v] {
+			if steps++; steps > n {
+				return fmt.Errorf("ptree: snapshot topology has a cycle through node %d", i)
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		if parents[i] != int64(t.parent[i]) {
+			return fmt.Errorf("ptree: snapshot node %d has parent %d, tree has %d",
+				i, parents[i], t.parent[i])
+		}
+		if t.stages[i] == nil && len(blobs[i]) > 0 {
+			return fmt.Errorf("ptree: snapshot node %d carries a ceiling blob, tree node has no ceiling", i)
+		}
+	}
+	// Validate every ceiling is snapshottable before restoring any, so a
+	// structural mismatch cannot leave the tree half-restored.
+	snaps := make([]enforcer.Snapshotter, n)
+	for i, s := range t.stages {
+		if s == nil {
+			continue
+		}
+		snap, ok := s.(enforcer.Snapshotter)
+		if !ok {
+			return fmt.Errorf("ptree: node %d (%T): %w", i, s, enforcer.ErrNotSnapshottable)
+		}
+		snaps[i] = snap
+	}
+	for i, snap := range snaps {
+		if snap == nil {
+			continue
+		}
+		if err := snap.RestoreState(blobs[i]); err != nil {
+			return fmt.Errorf("ptree: restoring node %d: %w", i, err)
+		}
+	}
+	t.stats = stats
+	for i := 0; i < n; i++ {
+		t.tokens[i] = tokens[i]
+		t.lastFill[i] = lastFill[i]
+		t.accPkts[i] = counters[i][0]
+		t.accBytes[i] = counters[i][1]
+		t.drpPkts[i] = counters[i][2]
+		t.drpBytes[i] = counters[i][3]
+	}
+	return nil
+}
+
+var _ enforcer.Reconfigurer = (*Tree)(nil)
+var _ enforcer.Snapshotter = (*Tree)(nil)

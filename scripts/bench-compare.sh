@@ -12,7 +12,7 @@
 # falling back to HEAD~1 when that is HEAD itself (e.g. running on main).
 #
 # Environment:
-#   BENCH   benchmark regexp      (default '^BenchmarkMiddleboxSubmitBatch$')
+#   BENCH   benchmark regexp      (default: the middlebox + policy-tree SubmitBatch pair)
 #   COUNT   repetitions per side  (default 6)
 #   BUDGET  allowed mean pkts/sec regression in percent (default 10)
 #   OUTDIR  where base.txt / head.txt are written (default: a temp dir)
@@ -20,7 +20,7 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-BENCH="${BENCH:-^BenchmarkMiddleboxSubmitBatch\$}"
+BENCH="${BENCH:-^(BenchmarkMiddleboxSubmitBatch|BenchmarkPolicyTreeSubmitBatch)\$}"
 COUNT="${COUNT:-6}"
 BUDGET="${BUDGET:-10}"
 
