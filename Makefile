@@ -36,11 +36,12 @@ govulncheck:
 	fi
 
 # Chaos gate: the seeded fault-injection suite (panic isolation,
-# quarantine, watchdog, deadline-bounded Close) repeated under the race
-# detector. Seeded draws make every repetition identical, so -count=3
-# checks the engine, not the dice.
+# quarantine, watchdog, deadline-bounded Close, and the cluster
+# budget-exchange invariant under injected network faults) repeated under
+# the race detector. Seeded draws make every repetition identical, so
+# -count=3 checks the engine, not the dice.
 chaos:
-	$(GO) test -race -count=3 -run 'Chaos|Fault|Control|Overloaded' ./internal/mbox/ ./internal/faultinject/
+	$(GO) test -race -count=3 -run 'Chaos|Fault|Control|Overloaded' ./internal/mbox/ ./internal/faultinject/ ./internal/cluster/
 
 # Ten-second smoke run of every fuzz target (seed corpus + a short burst of
 # generated inputs); full fuzzing sessions run the targets individually.

@@ -56,8 +56,9 @@ var publishMetricsVar = func() func(mb *bcpqp.Middlebox) {
 	}
 }()
 
-// newAdminMux builds the admin endpoint set for one engine.
-func newAdminMux(mb *bcpqp.Middlebox) *http.ServeMux {
+// newAdminMux builds the admin endpoint set for one engine. node is the
+// cluster exchange node, or nil when the proxy runs standalone.
+func newAdminMux(mb *bcpqp.Middlebox, node *bcpqp.ClusterNode) *http.ServeMux {
 	publishMetricsVar(mb)
 	mux := http.NewServeMux()
 
@@ -88,6 +89,11 @@ func newAdminMux(mb *bcpqp.Middlebox) *http.ServeMux {
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		h := mb.Health()
 		w.Header().Set("Content-Type", "application/json")
+		// Cluster fallback shares are DEGRADED, not down: the node is
+		// enforcing its conservative static r/N share, which is safe and
+		// serving traffic — a 503 here would make load balancers evict
+		// exactly the nodes that are behaving correctly under partition.
+		degraded := node != nil && node.Degraded()
 		if h.Wedged() {
 			w.WriteHeader(http.StatusServiceUnavailable)
 		}
@@ -103,12 +109,14 @@ func newAdminMux(mb *bcpqp.Middlebox) *http.ServeMux {
 		}
 		body := struct {
 			Healthy     bool     `json:"healthy"`
+			Degraded    bool     `json:"degraded"`
 			Shards      []shardz `json:"shards"`
 			Quarantined []string `json:"quarantined,omitempty"`
 			Panics      int64    `json:"panics"`
 			Overloaded  int64    `json:"overloaded_packets"`
 		}{
 			Healthy:     !h.Wedged(),
+			Degraded:    degraded,
 			Panics:      h.Panics,
 			Overloaded:  h.Overloaded,
 			Quarantined: h.Quarantined,
@@ -125,6 +133,67 @@ func newAdminMux(mb *bcpqp.Middlebox) *http.ServeMux {
 				Shed:         s.Shed,
 			})
 		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(body)
+	})
+
+	mux.HandleFunc("/cluster", func(w http.ResponseWriter, r *http.Request) {
+		if node == nil {
+			http.Error(w, "cluster mode disabled (no -node-id)", http.StatusNotFound)
+			return
+		}
+		st := node.Status()
+		type peerz struct {
+			ID              string `json:"id"`
+			State           string `json:"state"`
+			LastExchangeAge string `json:"last_exchange_age"`
+			LastSeq         uint64 `json:"last_seq"`
+			Reports         int64  `json:"reports"`
+			Stale           int64  `json:"stale_reports"`
+		}
+		type aggz struct {
+			ID            string  `json:"id"`
+			RateBps       float64 `json:"rate_bps"`
+			FloorBps      float64 `json:"floor_bps"`
+			ObservedBps   float64 `json:"observed_bps"`
+			AppliedBps    float64 `json:"applied_bps"`
+			GrantedInBps  float64 `json:"granted_in_bps"`
+			GrantedOutBps float64 `json:"granted_out_bps"`
+			Fallback      bool    `json:"fallback"`
+		}
+		body := struct {
+			Self      string  `json:"self"`
+			Seq       uint64  `json:"seq"`
+			Window    string  `json:"window"`
+			Degraded  bool    `json:"degraded"`
+			BadFrames int64   `json:"bad_frames"`
+			Handoffs  int64   `json:"handoffs"`
+			Peers     []peerz `json:"peers"`
+			Shared    []aggz  `json:"shared"`
+		}{
+			Self: st.Self, Seq: st.Seq, Window: st.Window.String(),
+			Degraded: st.Degraded, BadFrames: st.BadFrames, Handoffs: st.Handoffs,
+		}
+		for _, p := range st.Peers {
+			age := "never"
+			if p.LastExchangeAge >= 0 {
+				age = p.LastExchangeAge.String()
+			}
+			body.Peers = append(body.Peers, peerz{
+				ID: p.ID, State: p.State.String(), LastExchangeAge: age,
+				LastSeq: p.LastSeq, Reports: p.Reports, Stale: p.Stale,
+			})
+		}
+		for _, a := range st.Shared {
+			body.Shared = append(body.Shared, aggz{
+				ID: a.ID, RateBps: float64(a.Rate), FloorBps: float64(a.Floor),
+				ObservedBps: float64(a.Observed), AppliedBps: float64(a.Applied),
+				GrantedInBps: float64(a.GrantedIn), GrantedOutBps: float64(a.GrantedOut),
+				Fallback: a.Fallback,
+			})
+		}
+		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		enc.Encode(body)
@@ -183,14 +252,14 @@ func newAdminMux(mb *bcpqp.Middlebox) *http.ServeMux {
 
 // startAdmin serves the admin mux on ln until the returned server is
 // closed. Serve errors after shutdown are expected and discarded.
-func startAdmin(ln net.Listener, mb *bcpqp.Middlebox) *http.Server {
-	srv := &http.Server{Handler: newAdminMux(mb), ReadHeaderTimeout: 5 * time.Second}
+func startAdmin(ln net.Listener, mb *bcpqp.Middlebox, node *bcpqp.ClusterNode) *http.Server {
+	srv := &http.Server{Handler: newAdminMux(mb, node), ReadHeaderTimeout: 5 * time.Second}
 	go func() {
 		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
 			fmt.Fprintf(os.Stderr, "bcpqp-proxy: admin listener: %v\n", err)
 		}
 	}()
-	fmt.Fprintf(os.Stderr, "bcpqp-proxy: admin endpoints on http://%s (/metrics /metrics/tree /healthz /debug/trace /debug/vars /debug/pprof)\n",
+	fmt.Fprintf(os.Stderr, "bcpqp-proxy: admin endpoints on http://%s (/metrics /metrics/tree /healthz /cluster /debug/trace /debug/vars /debug/pprof)\n",
 		ln.Addr())
 	return srv
 }

@@ -53,7 +53,11 @@ func main() {
 		queues   = flag.Int("queues", 16, "phantom queues / flow buckets")
 		treePath = flag.String("tree", "", "policy-tree JSON spec file: hierarchical ceilings and assured rates enforced instead of the flat -rate/-scheme enforcer (see treespec.go for the format)")
 		snapPath = flag.String("snapshot", "", "warm-restart snapshot file: restored at startup if present, written on SIGHUP")
-		httpAddr = flag.String("http", "", "admin HTTP listener address serving /metrics, /healthz, /debug/trace, /debug/vars and /debug/pprof (disabled when empty)")
+		httpAddr = flag.String("http", "", "admin HTTP listener address serving /metrics, /healthz, /cluster, /debug/trace, /debug/vars and /debug/pprof (disabled when empty)")
+		nodeID   = flag.String("node-id", "", "cluster node id: enables the peer budget exchange (requires -cluster-listen)")
+		peerSpec = flag.String("peers", "", "cluster peers as id=host:port,id2=host:port (exchange addresses, not datapath)")
+		clListen = flag.String("cluster-listen", "", "UDP address the budget exchange listens on (e.g. :7400)")
+		sharedFl = flag.Bool("shared", false, "enforce -rate as the CLUSTER-WIDE bound for the proxy aggregate: start at the static r/N share and let the budget exchange reclaim idle peers' headroom")
 		drain    = flag.Duration("drain-timeout", 5*time.Second, "graceful-shutdown drain deadline on SIGTERM/SIGINT")
 		selftest = flag.Bool("selftest", false, "run the loopback demonstration and exit")
 		duration = flag.Duration("selftest-duration", 5*time.Second, "selftest run length")
@@ -66,6 +70,30 @@ func main() {
 			os.Exit(1)
 		}
 		return
+	}
+
+	var clOpts clusterOpts
+	if *nodeID != "" || *peerSpec != "" || *clListen != "" || *sharedFl {
+		peers, err := parsePeers(*peerSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bcpqp-proxy:", err)
+			os.Exit(1)
+		}
+		if *nodeID == "" || *clListen == "" {
+			fmt.Fprintln(os.Stderr, "bcpqp-proxy: cluster mode needs both -node-id and -cluster-listen")
+			os.Exit(1)
+		}
+		if _, self := peers[*nodeID]; self {
+			fmt.Fprintf(os.Stderr, "bcpqp-proxy: -peers must not include this node's own id %q\n", *nodeID)
+			os.Exit(1)
+		}
+		clOpts = clusterOpts{
+			nodeID: *nodeID,
+			peers:  peers,
+			listen: *clListen,
+			shared: *sharedFl,
+			rate:   bcpqp.Rate(*rateMbps) * bcpqp.Mbps,
+		}
 	}
 
 	var enf bcpqp.Enforcer
@@ -101,6 +129,7 @@ func main() {
 		drainTimeout: *drain,
 		sig:          sigc,
 		admin:        admin,
+		cluster:      clOpts,
 	}))
 }
 
@@ -117,9 +146,13 @@ type proxyOpts struct {
 	drainTimeout time.Duration
 	sig          <-chan os.Signal
 	// admin, when non-nil, serves the observability endpoints (/metrics,
-	// /healthz, /debug/trace, /debug/vars, /debug/pprof) until shutdown;
-	// serve closes it. It also switches the engine's trace collector on.
+	// /healthz, /cluster, /debug/trace, /debug/vars, /debug/pprof) until
+	// shutdown; serve closes it. It also switches the engine's trace
+	// collector on.
 	admin net.Listener
+	// cluster, when enabled, joins the peer budget exchange (and, with
+	// shared set, enforces the proxy aggregate's rate cluster-wide).
+	cluster clusterOpts
 }
 
 // serve runs the engine-hosted datapath until SIGTERM/SIGINT, then drains
@@ -205,7 +238,6 @@ func serve(in net.PacketConn, forward string, enf bcpqp.Enforcer, opts proxyOpts
 		if err := bcpqp.ObserveAggregate(mb, proxyAggregate, col); err != nil && !errors.Is(err, bcpqp.ErrNotObservable) {
 			fmt.Fprintln(os.Stderr, "bcpqp-proxy: observe:", err)
 		}
-		defer startAdmin(opts.admin, mb).Close()
 	}
 
 	if opts.snapshotPath != "" {
@@ -219,6 +251,25 @@ func serve(in net.PacketConn, forward string, enf bcpqp.Enforcer, opts proxyOpts
 			// log and start cold.
 			fmt.Fprintf(os.Stderr, "bcpqp-proxy: snapshot restore failed, starting cold: %v\n", err)
 		}
+	}
+
+	// Cluster exchange: joined after the warm restart so the exchange
+	// observes restored counters, and before traffic so a shared aggregate
+	// starts at its conservative r/N share, never the full global rate.
+	var node *bcpqp.ClusterNode
+	if opts.cluster.enabled() {
+		var stopCluster func()
+		node, stopCluster, err = startCluster(mb, col, opts.cluster)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bcpqp-proxy: cluster:", err)
+			return 1
+		}
+		defer stopCluster()
+		fmt.Fprintf(os.Stderr, "bcpqp-proxy: cluster node %q: %d peers, shared=%v\n",
+			opts.cluster.nodeID, len(opts.cluster.peers), opts.cluster.shared)
+	}
+	if col != nil {
+		defer startAdmin(opts.admin, mb, node).Close()
 	}
 
 	var stopping atomic.Bool

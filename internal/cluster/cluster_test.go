@@ -1,0 +1,528 @@
+package cluster
+
+// Node-level exchange tests on a deterministic in-memory network: a
+// virtual clock, synchronous delivery through faultinject.NetLink (so the
+// chaos suite reuses the same harness with fault plans), and a fluid
+// traffic model — each simulated node accepts min(demand, applied share)
+// during every window, which is exactly the regime the share calculus
+// reasons about.
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"bcpqp/internal/faultinject"
+	"bcpqp/internal/units"
+)
+
+const (
+	simWindow = 250 * time.Millisecond
+	simRate   = units.Rate(90e6) // global bound r: 90 Mbit/s
+	simAgg    = "tenant-1"
+)
+
+// simNode is one simulated cluster member: a Node plus the fluid traffic
+// model feeding its Observed callback.
+type simNode struct {
+	node     *Node
+	demand   units.Rate // offered load
+	applied  units.Rate // share the exchange last applied
+	fallback bool
+	accepted float64 // cumulative accepted bytes (fluid)
+}
+
+// memTransport routes frames from one sender through per-direction
+// NetLinks straight into the receivers' Deliver.
+type memTransport struct {
+	from string
+	sim  *clusterSim
+}
+
+func (m *memTransport) Send(peer string, frame []byte) error {
+	link := m.sim.links[m.from][peer]
+	if link == nil {
+		return fmt.Errorf("no link %s→%s", m.from, peer)
+	}
+	link.Send(m.sim.now, frame)
+	return nil
+}
+
+// clusterSim is a virtual-time cluster of simNodes. Everything runs on the
+// test goroutine: Send delivers synchronously (possibly through fault
+// injectors), so runs are bit-for-bit reproducible per seed.
+type clusterSim struct {
+	t     *testing.T
+	now   time.Duration
+	ids   []string
+	nodes map[string]*simNode
+	links map[string]map[string]*faultinject.NetLink // sender → receiver
+}
+
+// newClusterSim builds n nodes named node-0..n-1 sharing one aggregate at
+// simRate, every directional link wrapped in a NetLink with plan(sender,
+// receiver).
+func newClusterSim(t *testing.T, n int, plan func(from, to string) faultinject.NetPlan) *clusterSim {
+	t.Helper()
+	sim := &clusterSim{
+		t:     t,
+		nodes: make(map[string]*simNode),
+		links: make(map[string]map[string]*faultinject.NetLink),
+	}
+	for i := 0; i < n; i++ {
+		sim.ids = append(sim.ids, fmt.Sprintf("node-%d", i))
+	}
+	for _, id := range sim.ids {
+		sn := &simNode{}
+		peers := make([]string, 0, n-1)
+		for _, p := range sim.ids {
+			if p != id {
+				peers = append(peers, p)
+			}
+		}
+		node, err := New(Config{
+			Self:      id,
+			Peers:     peers,
+			Window:    simWindow,
+			Transport: &memTransport{from: id, sim: sim},
+			Clock:     func() time.Duration { return sim.now },
+			Seed:      1,
+		}, []SharedAggregate{{
+			ID:   simAgg,
+			Rate: simRate,
+			Observed: func() (int64, bool) {
+				return int64(sn.accepted), true
+			},
+			Apply: func(share units.Rate, fallback bool) error {
+				sn.applied, sn.fallback = share, fallback
+				return nil
+			},
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sn.node = node
+		sim.nodes[id] = sn
+	}
+	for _, from := range sim.ids {
+		sim.links[from] = make(map[string]*faultinject.NetLink)
+		for _, to := range sim.ids {
+			if from == to {
+				continue
+			}
+			dst := sim.nodes[to].node
+			p := faultinject.NetPlan{}
+			if plan != nil {
+				p = plan(from, to)
+			}
+			sim.links[from][to] = faultinject.NewNetLink(func(f []byte) { dst.Deliver(f) }, p)
+		}
+	}
+	t.Cleanup(func() {
+		for _, sn := range sim.nodes {
+			sn.node.Close()
+		}
+	})
+	return sim
+}
+
+// step advances one window: accrue fluid traffic, advance virtual time
+// (releasing delayed frames), and tick every node.
+func (s *clusterSim) step() {
+	for _, id := range s.ids {
+		sn := s.nodes[id]
+		rate := sn.demand
+		if sn.applied < rate {
+			rate = sn.applied
+		}
+		sn.accepted += float64(rate) / 8 * simWindow.Seconds()
+	}
+	s.now += simWindow
+	for _, m := range s.links {
+		for _, l := range m {
+			l.Advance(s.now)
+		}
+	}
+	for _, id := range s.ids {
+		s.nodes[id].node.Tick(s.now)
+	}
+}
+
+// appliedSum returns Σ applied across the cluster.
+func (s *clusterSim) appliedSum() units.Rate {
+	var sum units.Rate
+	for _, id := range s.ids {
+		sum += s.nodes[id].applied
+	}
+	return sum
+}
+
+// assertInvariant fails the test if the cluster-wide share sum exceeds the
+// global bound (tiny float epsilon only).
+func (s *clusterSim) assertInvariant() {
+	s.t.Helper()
+	if sum := s.appliedSum(); float64(sum) > float64(simRate)*(1+1e-9) {
+		s.t.Fatalf("t=%v: Σ applied = %.0f exceeds r = %.0f", s.now, float64(sum), float64(simRate))
+	}
+}
+
+// cutAll opens one-way partitions for every link touching id in the given
+// directions.
+func (s *clusterSim) cutAll(id string, outbound, inbound bool) {
+	for _, other := range s.ids {
+		if other == id {
+			continue
+		}
+		if outbound {
+			s.links[id][other].Cut()
+		}
+		if inbound {
+			s.links[other][id].Cut()
+		}
+	}
+}
+
+func (s *clusterSim) healAll(id string) {
+	for _, other := range s.ids {
+		if other == id {
+			continue
+		}
+		s.links[id][other].Heal()
+		s.links[other][id].Heal()
+	}
+}
+
+// TestClusterConvergence: on a clean network, surplus nodes cede budget to
+// the loaded node within a few windows, the loaded node's share rises well
+// above the static floor, and the sum never exceeds r.
+func TestClusterConvergence(t *testing.T) {
+	sim := newClusterSim(t, 3, nil)
+	floor := simRate / 3
+	sim.nodes["node-0"].demand = 80e6 // hot node; the others are idle
+	for i := 0; i < 40; i++ {
+		sim.step()
+		sim.assertInvariant()
+	}
+	hot := sim.nodes["node-0"]
+	if hot.fallback {
+		t.Fatal("hot node still in fallback on a clean network")
+	}
+	if hot.applied < floor*2 {
+		t.Fatalf("hot node share %.0f never grew past 2×floor (floor %.0f)", float64(hot.applied), float64(floor))
+	}
+	// The hot node's demand is satisfiable: 80 Mbit/s < r.
+	if hot.applied < hot.demand*95/100 {
+		t.Fatalf("hot node share %.0f does not cover demand %.0f", float64(hot.applied), float64(hot.demand))
+	}
+	for _, id := range []string{"node-1", "node-2"} {
+		if sn := sim.nodes[id]; sn.applied > floor {
+			t.Fatalf("%s idle but share %.0f exceeds floor %.0f", id, float64(sn.applied), float64(floor))
+		}
+	}
+}
+
+// TestClusterFallbackWithinOneWindow: after a full partition of the hot
+// node, every surviving node stops honoring its grants within one window
+// of the first missed exchange (≤ 2 ticks), lands back at ≤ floor, and
+// reports fallback. On heal the exchange re-establishes.
+func TestClusterFallbackWithinOneWindow(t *testing.T) {
+	sim := newClusterSim(t, 3, nil)
+	floor := simRate / 3
+	sim.nodes["node-0"].demand = 80e6
+	for i := 0; i < 20; i++ {
+		sim.step()
+		sim.assertInvariant()
+	}
+	if sim.nodes["node-0"].applied <= floor {
+		t.Fatal("setup: grants never flowed")
+	}
+
+	sim.cutAll("node-0", true, true)
+	// Tick 1 after the cut: node-0's last report is one window old — still
+	// within freshFor. Tick 2: stale everywhere. That is one window after
+	// the first missed exchange, the ISSUE's bound.
+	for i := 0; i < 2; i++ {
+		sim.step()
+		sim.assertInvariant()
+	}
+	hot := sim.nodes["node-0"]
+	if !hot.fallback {
+		t.Fatal("partitioned node not in fallback after 2 ticks")
+	}
+	if hot.applied > floor*(1+1e-9) {
+		t.Fatalf("partitioned node still enforcing %.0f > floor %.0f", float64(hot.applied), float64(floor))
+	}
+	for _, id := range []string{"node-1", "node-2"} {
+		sn := sim.nodes[id]
+		if !sn.fallback {
+			t.Fatalf("%s not in fallback though node-0 is silent", id)
+		}
+	}
+	// Survivors must keep the sum bounded through the hold window drain.
+	for i := 0; i < holdTicks+2; i++ {
+		sim.step()
+		sim.assertInvariant()
+	}
+
+	sim.healAll("node-0")
+	for i := 0; i < 10; i++ {
+		sim.step()
+		sim.assertInvariant()
+	}
+	if sim.nodes["node-0"].fallback {
+		t.Fatal("exchange did not re-establish after heal")
+	}
+	if sim.nodes["node-0"].applied <= floor {
+		t.Fatal("grants did not resume after heal")
+	}
+}
+
+// TestClusterSilentPeerDegradeLadder: a peer that stops ticking walks
+// alive → suspect → dead on the configured thresholds, and its state is
+// visible in Status and the peer-state callback.
+func TestClusterSilentPeerDegradeLadder(t *testing.T) {
+	sim := newClusterSim(t, 2, nil)
+	for i := 0; i < 3; i++ {
+		sim.step()
+	}
+	st := sim.nodes["node-0"].node.Status()
+	if st.Peers[0].State != PeerAlive {
+		t.Fatalf("peer state %v after clean exchange, want alive", st.Peers[0].State)
+	}
+
+	// Silence node-1: it stops ticking (no reports) but node-0 keeps going.
+	silent := 0
+	for i := 0; i < 12; i++ {
+		for _, id := range sim.ids {
+			sn := sim.nodes[id]
+			rate := sn.demand
+			if sn.applied < rate {
+				rate = sn.applied
+			}
+			sn.accepted += float64(rate) / 8 * simWindow.Seconds()
+		}
+		sim.now += simWindow
+		sim.nodes["node-0"].node.Tick(sim.now)
+		silent++
+		st = sim.nodes["node-0"].node.Status()
+		state := st.Peers[0].State
+		age := time.Duration(silent) * simWindow
+		want := classify(age, 3*simWindow, 10*simWindow)
+		if state != want {
+			t.Fatalf("after %d silent windows: state %v, want %v", silent, state, want)
+		}
+	}
+	if st.Peers[0].State != PeerDead {
+		t.Fatalf("peer never reached dead: %v", st.Peers[0].State)
+	}
+	if !st.Degraded {
+		t.Fatal("node not degraded with a dead peer")
+	}
+
+	// Resurrection: one tick from the silent peer revives it.
+	sim.nodes["node-1"].node.Tick(sim.now)
+	st = sim.nodes["node-0"].node.Status()
+	if st.Peers[0].State != PeerAlive {
+		t.Fatalf("peer not resurrected by a valid report: %v", st.Peers[0].State)
+	}
+}
+
+// TestClusterStaleAndCorruptFrames: duplicates are dropped by sequence
+// number, corrupted frames are counted and ignored, and neither disturbs
+// the share invariant.
+func TestClusterStaleAndCorruptFrames(t *testing.T) {
+	sim := newClusterSim(t, 2, nil)
+	for i := 0; i < 5; i++ {
+		sim.step()
+		sim.assertInvariant()
+	}
+	n0 := sim.nodes["node-0"].node
+
+	// Replay node-1's current report twice by hand.
+	frame := EncodeReport("node-1", 3, nil, nil) // seq 3 < current (5): stale
+	if err := n0.Deliver(frame); err != nil {
+		t.Fatalf("stale frame returned delivery error: %v", err)
+	}
+	st := n0.Status()
+	if st.Peers[0].Stale == 0 {
+		t.Fatal("stale replay not counted")
+	}
+
+	if err := n0.Deliver([]byte("garbage-not-a-frame")); err == nil {
+		t.Fatal("garbage frame accepted")
+	}
+	if err := n0.Deliver(EncodeReport("node-9", 99, nil, nil)); err == nil {
+		t.Fatal("unknown-sender frame accepted")
+	}
+	st = n0.Status()
+	if st.BadFrames != 2 {
+		t.Fatalf("BadFrames = %d, want 2", st.BadFrames)
+	}
+	for i := 0; i < 5; i++ {
+		sim.step()
+		sim.assertInvariant()
+	}
+}
+
+// TestClusterMigrateHandoff: when the ring changes, Migrate snapshots the
+// moved aggregate and the new owner consumes it through OnTakeover.
+func TestClusterMigrateHandoff(t *testing.T) {
+	var mu sync.Mutex
+	taken := map[string][]byte{}
+
+	delivered := func(dst *Node) func([]byte) {
+		return func(f []byte) { dst.Deliver(f) }
+	}
+	mk := func(self string, peers []string, tr Transport) *Node {
+		n, err := New(Config{Self: self, Peers: peers, Transport: tr,
+			Clock: func() time.Duration { return 0 },
+			OnTakeover: func(agg string, state []byte) error {
+				mu.Lock()
+				defer mu.Unlock()
+				taken[agg] = append([]byte(nil), state...)
+				return nil
+			}}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+	var linkAB *faultinject.NetLink
+	trA := transportFunc(func(peer string, f []byte) error {
+		if peer != "b" {
+			return errors.New("unexpected peer")
+		}
+		linkAB.Send(0, f)
+		return nil
+	})
+	a := mk("a", []string{"b"}, trA)
+	b := mk("b", []string{"a"}, transportFunc(func(string, []byte) error { return nil }))
+	linkAB = faultinject.NewNetLink(delivered(b), faultinject.NetPlan{})
+	defer a.Close()
+	defer b.Close()
+
+	// Previously a was alone and owned everything; now the ring is {a,b}.
+	prev := NewRing([]string{"a"})
+	ids := aggIDs(64)
+	wantMoved := 0
+	for _, id := range ids {
+		if a.Ring().Owner(id) == "b" {
+			wantMoved++
+		}
+	}
+	sent, err := a.Migrate(prev, ids, func(id string) ([]byte, error) {
+		return []byte("state-of-" + id), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sent != wantMoved || sent == 0 {
+		t.Fatalf("migrated %d aggregates, want %d (nonzero)", sent, wantMoved)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(taken) != wantMoved {
+		t.Fatalf("new owner consumed %d handoffs, want %d", len(taken), wantMoved)
+	}
+	for id, state := range taken {
+		if string(state) != "state-of-"+id {
+			t.Fatalf("handoff state for %s corrupted: %q", id, state)
+		}
+	}
+	if b.Status().Handoffs != int64(wantMoved) {
+		t.Fatalf("Handoffs counter = %d, want %d", b.Status().Handoffs, wantMoved)
+	}
+}
+
+// transportFunc adapts a function to the Transport interface.
+type transportFunc func(peer string, frame []byte) error
+
+func (f transportFunc) Send(peer string, frame []byte) error { return f(peer, frame) }
+
+// TestClusterSendRetryBackoff: a transport that fails transiently is
+// retried with backoff until it succeeds, and a permanently dead transport
+// gives up after RetryMax attempts.
+func TestClusterSendRetryBackoff(t *testing.T) {
+	var mu sync.Mutex
+	fails, sends := 2, 0
+	tr := transportFunc(func(peer string, frame []byte) error {
+		mu.Lock()
+		defer mu.Unlock()
+		sends++
+		if sends <= fails {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	n, err := New(Config{Self: "a", Peers: []string{"b"}, Transport: tr,
+		RetryBase: time.Millisecond, RetryMax: 5,
+		Clock: func() time.Duration { return 0 }}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Tick(0) // broadcast fails twice, then the retry loop succeeds
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		mu.Lock()
+		done := sends == fails+1
+		mu.Unlock()
+		if done {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("retry never succeeded: %d sends", sends)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	n.Close()
+}
+
+// TestClusterMetricsFamilies: the exported families carry per-peer and
+// per-aggregate samples with the expected names.
+func TestClusterMetricsFamilies(t *testing.T) {
+	sim := newClusterSim(t, 3, nil)
+	for i := 0; i < 5; i++ {
+		sim.step()
+	}
+	fams := sim.nodes["node-0"].node.MetricFamilies()
+	byName := map[string]int{}
+	for _, f := range fams {
+		byName[f.Name] = len(f.Samples)
+	}
+	for name, want := range map[string]int{
+		"bcpqp_peer_state":                     2,
+		"bcpqp_peer_last_exchange_age_seconds": 2,
+		"bcpqp_peer_reports_total":             2,
+		"bcpqp_cluster_share_bps":              1,
+		"bcpqp_cluster_fallback":               1,
+		"bcpqp_cluster_bad_frames_total":       1,
+		"bcpqp_cluster_handoffs_total":         1,
+	} {
+		if byName[name] != want {
+			t.Fatalf("family %s has %d samples, want %d (families: %v)", name, byName[name], want, byName)
+		}
+	}
+}
+
+// TestClusterConfigValidation: the constructor rejects unusable configs.
+func TestClusterConfigValidation(t *testing.T) {
+	tr := transportFunc(func(string, []byte) error { return nil })
+	if _, err := New(Config{Transport: tr}, nil); err == nil {
+		t.Fatal("missing Self accepted")
+	}
+	if _, err := New(Config{Self: "a"}, nil); err == nil {
+		t.Fatal("missing Transport accepted")
+	}
+	if _, err := New(Config{Self: "a", Transport: tr},
+		[]SharedAggregate{{ID: "x"}}); err == nil {
+		t.Fatal("shared aggregate without callbacks accepted")
+	}
+	if _, err := New(Config{Self: "a", Transport: tr},
+		[]SharedAggregate{{ID: "x",
+			Observed: func() (int64, bool) { return 0, true },
+			Apply:    func(units.Rate, bool) error { return nil }}}); err == nil {
+		t.Fatal("shared aggregate without a positive rate accepted")
+	}
+}

@@ -1,0 +1,104 @@
+package cluster
+
+import (
+	"testing"
+
+	"bcpqp/internal/units"
+)
+
+// FuzzDecodeFrame hardens the budget-exchange wire decoder against hostile
+// and corrupted input: DecodeFrame must never panic, never allocate
+// proportionally to a lying length prefix, and anything it accepts must
+// re-encode to a frame that decodes to the same value (the canonical
+// roundtrip property). Rejection is always fine — the protocol treats a
+// rejected frame as silence and falls back to the static share.
+func FuzzDecodeFrame(f *testing.F) {
+	// Seed with well-formed frames of both types so mutation starts deep
+	// inside the format rather than dying at the magic check.
+	f.Add(EncodeReport("node-a", 1, nil, nil))
+	f.Add(EncodeReport("node-a", 42,
+		[]Echo{{Peer: "node-b", Seq: 41}, {Peer: "node-c", Seq: 40}},
+		[]AggReport{
+			{ID: "tenant-1", Observed: 80e6, Applied: 90e6,
+				Grants: []Grant{{To: "node-b", Bps: 5e6}}},
+			{ID: "tenant-2", Observed: 1, Applied: 2},
+		}))
+	f.Add(EncodeHandoff("node-b", 7, "tenant-1", []byte("BQSN-stateblob")))
+	f.Add(EncodeHandoff("n", 0, "a", nil))
+	f.Add([]byte(frameMagic))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, err := DecodeFrame(data)
+		if err != nil {
+			if fr != nil {
+				t.Fatal("non-nil frame alongside an error")
+			}
+			return
+		}
+		// Structural invariants of anything the decoder accepts.
+		if fr.Sender == "" || len(fr.Sender) > maxIDLen {
+			t.Fatalf("accepted sender %q", fr.Sender)
+		}
+		for _, a := range fr.Aggs {
+			if a.ID == "" || len(a.ID) > maxIDLen {
+				t.Fatalf("accepted aggregate id %q", a.ID)
+			}
+			if a.Observed < 0 || a.Applied < 0 || a.Observed != a.Observed || a.Applied != a.Applied {
+				t.Fatalf("accepted poisonous rates %v/%v", a.Observed, a.Applied)
+			}
+			for _, g := range a.Grants {
+				if g.To == "" || g.Bps < 0 || g.Bps != g.Bps {
+					t.Fatalf("accepted poisonous grant %+v", g)
+				}
+			}
+		}
+		// Accepted frames must roundtrip canonically.
+		var re []byte
+		switch fr.Type {
+		case typeReport:
+			re = EncodeReport(fr.Sender, fr.Seq, fr.Echoes, fr.Aggs)
+		case typeHandoff:
+			re = EncodeHandoff(fr.Sender, fr.Seq, fr.AggID, fr.State)
+		default:
+			t.Fatalf("accepted unknown type %d", fr.Type)
+		}
+		fr2, err := DecodeFrame(re)
+		if err != nil {
+			t.Fatalf("re-encoded frame rejected: %v", err)
+		}
+		if !framesEqual(fr, fr2) {
+			t.Fatalf("roundtrip mismatch:\n%+v\n%+v", fr, fr2)
+		}
+	})
+}
+
+func framesEqual(a, b *Frame) bool {
+	if a.Type != b.Type || a.Sender != b.Sender || a.Seq != b.Seq ||
+		a.AggID != b.AggID || string(a.State) != string(b.State) ||
+		len(a.Echoes) != len(b.Echoes) || len(a.Aggs) != len(b.Aggs) {
+		return false
+	}
+	for i := range a.Echoes {
+		if a.Echoes[i] != b.Echoes[i] {
+			return false
+		}
+	}
+	for i := range a.Aggs {
+		x, y := a.Aggs[i], b.Aggs[i]
+		if x.ID != y.ID || !rateEq(x.Observed, y.Observed) || !rateEq(x.Applied, y.Applied) ||
+			len(x.Grants) != len(y.Grants) {
+			return false
+		}
+		for j := range x.Grants {
+			if x.Grants[j].To != y.Grants[j].To || !rateEq(x.Grants[j].Bps, y.Grants[j].Bps) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// rateEq compares wire rates bit-exactly (F64 encoding is lossless; ±0
+// both decode as valid and re-encode identically).
+func rateEq(a, b units.Rate) bool { return a == b }

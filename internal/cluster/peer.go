@@ -1,0 +1,93 @@
+// Peer state machine: per-peer liveness tracking driven by report arrival
+// and the tick clock, with the timeout → suspect → dead ladder the ISSUE's
+// degrade ladder is built on. All transitions are functions of (last valid
+// report time, now), so they are deterministic under a virtual clock.
+package cluster
+
+import (
+	"time"
+
+	"bcpqp/internal/units"
+)
+
+// PeerState is one rung of the liveness ladder.
+type PeerState uint8
+
+const (
+	// PeerAlive: a valid report arrived within SuspectAfter.
+	PeerAlive PeerState = iota
+	// PeerSuspect: silent for SuspectAfter — grants from this peer have
+	// already died (freshFor < SuspectAfter); we keep retrying sends.
+	PeerSuspect
+	// PeerDead: silent for DeadAfter. Still retried at the tick cadence —
+	// a healed partition resurrects the peer on its next valid report.
+	PeerDead
+)
+
+// String names the state for logs, metrics and the /cluster endpoint.
+func (s PeerState) String() string {
+	switch s {
+	case PeerAlive:
+		return "alive"
+	case PeerSuspect:
+		return "suspect"
+	case PeerDead:
+		return "dead"
+	default:
+		return "unknown"
+	}
+}
+
+// peerAgg is the newest per-aggregate data heard from one peer.
+type peerAgg struct {
+	observed  units.Rate
+	applied   units.Rate
+	grantToMe units.Rate
+}
+
+// peer is the node's view of one cluster peer. Guarded by Node.mu.
+type peer struct {
+	id    string
+	index int // position in the node's sorted peer list (stable label)
+
+	state     PeerState
+	everHeard bool
+	lastHeard time.Duration // virtual receive time of the newest valid report
+	lastSeq   uint64        // newest report sequence accepted (duplicates/stale rejected)
+	echoOfMe  uint64        // my seq echoed by that report
+	aggs      map[string]*peerAgg
+
+	// Wire hygiene counters (exported via Status/metrics).
+	reports   int64 // valid reports accepted
+	stale     int64 // duplicate / out-of-order reports dropped by seq
+	badFrames int64 // frames from this peer that failed validation
+
+	retrying bool // a retry goroutine is in flight for this peer
+}
+
+// classify maps silence duration to a state. Pure function — the caller
+// records transitions.
+func classify(silence, suspectAfter, deadAfter time.Duration) PeerState {
+	switch {
+	case silence >= deadAfter:
+		return PeerDead
+	case silence >= suspectAfter:
+		return PeerSuspect
+	default:
+		return PeerAlive
+	}
+}
+
+// fresh reports whether the peer's newest report may still be honored at
+// virtual time now: received within freshFor (1.5 windows) AND echoing a
+// recent sequence number of ours (within echoSlack ticks). mySeq is the
+// node's current report sequence.
+func (p *peer) fresh(now, window time.Duration, mySeq uint64) bool {
+	if !p.everHeard {
+		return false
+	}
+	if now-p.lastHeard > window*freshForNum/freshForDen {
+		return false
+	}
+	return p.echoOfMe+echoSlack >= mySeq
+}

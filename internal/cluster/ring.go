@@ -1,0 +1,121 @@
+// Package cluster turns N independent bcpqp engines into one logical
+// enforcer for aggregates whose traffic spans machines.
+//
+// Two mechanisms, both deterministic:
+//
+//   - A consistent-hash ring places each aggregate on exactly one owner
+//     node. Every node computes the same placement from the same peer set —
+//     no coordination, no metadata service — and a single join or leave
+//     moves only ~1/N of the aggregates (whose state travels in BQSN
+//     snapshot handoffs).
+//
+//   - For aggregates marked shared (enforced at every node at once), a
+//     budget-exchange protocol on the paper's 250 ms window splits the
+//     global drain rate r into per-node shares r_i with Σ r_i ≤ r at all
+//     times, even while messages are lost, duplicated, reordered, delayed,
+//     or one-way partitioned. See rebalance.go for the share calculus and
+//     the safety argument.
+//
+// The package deliberately depends only on internal/enforcer (wire codec
+// helpers), internal/obs (trace events), internal/rng (retry jitter) and
+// internal/units; engines plug in through the SharedAggregate callbacks, so
+// cluster logic is testable without a datapath.
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// vnodesPerNode is the number of virtual points each node contributes to
+// the ring. 64 keeps the expected placement imbalance under ~15% for small
+// clusters while the whole ring stays a few KB.
+const vnodesPerNode = 64
+
+// ringPoint is one virtual node: a position on the 64-bit hash circle and
+// the index of the owning node.
+type ringPoint struct {
+	hash uint64
+	node int // index into Ring.nodes
+}
+
+// Ring is a deterministic consistent-hash ring over a set of node IDs.
+// Construction sorts the peer set, so any permutation of the same IDs
+// yields an identical ring and identical placements on every node.
+// A Ring is immutable after construction and safe for concurrent use.
+type Ring struct {
+	nodes  []string
+	points []ringPoint
+}
+
+// NewRing builds a ring over ids (duplicates are collapsed). An empty peer
+// set yields a ring on which Owner returns "".
+func NewRing(ids []string) *Ring {
+	seen := make(map[string]bool, len(ids))
+	nodes := make([]string, 0, len(ids))
+	for _, id := range ids {
+		if id == "" || seen[id] {
+			continue
+		}
+		seen[id] = true
+		nodes = append(nodes, id)
+	}
+	sort.Strings(nodes)
+	r := &Ring{nodes: nodes, points: make([]ringPoint, 0, len(nodes)*vnodesPerNode)}
+	for i, id := range nodes {
+		for v := 0; v < vnodesPerNode; v++ {
+			r.points = append(r.points, ringPoint{hash: hash64(fmt.Sprintf("%s#%d", id, v)), node: i})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Hash ties (vanishingly rare) break by node index, which is itself
+		// determined by the sorted ID order — still deterministic.
+		return r.points[i].node < r.points[j].node
+	})
+	return r
+}
+
+// Nodes returns the ring's node IDs in sorted order. Callers must not
+// mutate the returned slice.
+func (r *Ring) Nodes() []string { return r.nodes }
+
+// Size returns the number of distinct nodes on the ring.
+func (r *Ring) Size() int { return len(r.nodes) }
+
+// Owner returns the node that owns key: the first virtual point at or
+// clockwise of the key's hash, wrapping at the top of the circle.
+func (r *Ring) Owner(key string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	h := hash64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.nodes[r.points[i].node]
+}
+
+// Owns reports whether node id owns key on this ring.
+func (r *Ring) Owns(id, key string) bool { return r.Owner(key) == id }
+
+// hash64 is FNV-1a over the key with a splitmix64 finalizer. Placement
+// only needs an even, stable, platform-independent spread — not
+// cryptographic strength — but raw FNV-1a of short, similar keys (vnode
+// labels differ in a suffix digit) clusters badly on the circle; the
+// finalizer's avalanche fixes the dispersion.
+func hash64(key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	z := h.Sum64()
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}

@@ -1,0 +1,129 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func aggIDs(n int) []string {
+	ids := make([]string, n)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("agg-%04d", i)
+	}
+	return ids
+}
+
+// TestRingDeterminism: every permutation of the same peer set yields
+// identical placements for every key — the property that lets N nodes
+// agree on ownership with zero coordination.
+func TestRingDeterminism(t *testing.T) {
+	perms := [][]string{
+		{"node-a", "node-b", "node-c", "node-d"},
+		{"node-d", "node-c", "node-b", "node-a"},
+		{"node-c", "node-a", "node-d", "node-b"},
+		{"node-b", "node-d", "node-a", "node-c", "node-b"}, // duplicate collapsed
+	}
+	ref := NewRing(perms[0])
+	keys := aggIDs(500)
+	for pi, perm := range perms[1:] {
+		r := NewRing(perm)
+		if r.Size() != ref.Size() {
+			t.Fatalf("perm %d: size %d != %d", pi, r.Size(), ref.Size())
+		}
+		for _, k := range keys {
+			if got, want := r.Owner(k), ref.Owner(k); got != want {
+				t.Fatalf("perm %d: owner(%q) = %q, want %q", pi, k, got, want)
+			}
+		}
+	}
+}
+
+// TestRingSpread: placements land on every node, and no node owns a wildly
+// disproportionate share (vnode smoothing keeps small clusters roughly
+// balanced).
+func TestRingSpread(t *testing.T) {
+	nodes := []string{"a", "b", "c", "d", "e"}
+	r := NewRing(nodes)
+	counts := map[string]int{}
+	keys := aggIDs(5000)
+	for _, k := range keys {
+		counts[r.Owner(k)]++
+	}
+	want := len(keys) / len(nodes)
+	for _, n := range nodes {
+		c := counts[n]
+		if c == 0 {
+			t.Fatalf("node %s owns nothing", n)
+		}
+		if c < want/2 || c > want*2 {
+			t.Errorf("node %s owns %d of %d keys (expected ~%d)", n, c, len(keys), want)
+		}
+	}
+}
+
+// TestRingJoinLeaveMovement is the consistent-hashing contract, table
+// driven: a single join or leave moves only ~1/N of the keys, and every
+// move involves the changed node — no key shuffles between two surviving
+// nodes.
+func TestRingJoinLeaveMovement(t *testing.T) {
+	keys := aggIDs(4000)
+	cases := []struct {
+		name    string
+		before  []string
+		after   []string
+		changed string // the joined or departed node
+	}{
+		{"join 2nd", []string{"a"}, []string{"a", "b"}, "b"},
+		{"join 4th", []string{"a", "b", "c"}, []string{"a", "b", "c", "d"}, "d"},
+		{"join 8th", []string{"n1", "n2", "n3", "n4", "n5", "n6", "n7"},
+			[]string{"n1", "n2", "n3", "n4", "n5", "n6", "n7", "n8"}, "n8"},
+		{"leave of 4", []string{"a", "b", "c", "d"}, []string{"a", "b", "d"}, "c"},
+		{"leave of 8", []string{"n1", "n2", "n3", "n4", "n5", "n6", "n7", "n8"},
+			[]string{"n1", "n2", "n3", "n4", "n5", "n6", "n8"}, "n7"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			before, after := NewRing(tc.before), NewRing(tc.after)
+			moved := 0
+			for _, k := range keys {
+				ob, oa := before.Owner(k), after.Owner(k)
+				if ob == oa {
+					continue
+				}
+				moved++
+				if ob != tc.changed && oa != tc.changed {
+					t.Fatalf("key %q moved %q → %q without involving changed node %q", k, ob, oa, tc.changed)
+				}
+			}
+			// Expected movement is len(keys)/max(N_before, N_after); allow
+			// 2.5x for vnode variance at these small N.
+			n := len(before.Nodes())
+			if len(after.Nodes()) > n {
+				n = len(after.Nodes())
+			}
+			expect := len(keys) / n
+			if moved == 0 {
+				t.Fatal("no keys moved across a ring change")
+			}
+			if moved > expect*5/2 {
+				t.Errorf("moved %d keys, expected ~%d (1/%d of %d)", moved, expect, n, len(keys))
+			}
+		})
+	}
+}
+
+// TestRingEmptyAndSingle: degenerate rings behave.
+func TestRingEmptyAndSingle(t *testing.T) {
+	if got := NewRing(nil).Owner("x"); got != "" {
+		t.Fatalf("empty ring owner = %q, want empty", got)
+	}
+	r := NewRing([]string{"only"})
+	for _, k := range aggIDs(20) {
+		if got := r.Owner(k); got != "only" {
+			t.Fatalf("single-node ring owner(%q) = %q", k, got)
+		}
+	}
+	if !r.Owns("only", "anything") {
+		t.Fatal("single node must own everything")
+	}
+}

@@ -1,0 +1,152 @@
+// Operational surface: structured cluster status for the proxy's /cluster
+// endpoint and Prometheus metric families (per-peer state gauge,
+// last-exchange age, exchange hygiene counters, per-aggregate shares) for
+// appending to the engine's /metrics exposition.
+package cluster
+
+import (
+	"time"
+
+	"bcpqp/internal/obs"
+	"bcpqp/internal/units"
+)
+
+// PeerStatus is one peer's liveness and exchange hygiene.
+type PeerStatus struct {
+	ID              string
+	State           PeerState
+	LastExchangeAge time.Duration // -1 until the first valid report
+	LastSeq         uint64
+	Reports         int64 // valid reports accepted
+	Stale           int64 // duplicates / reordered-behind dropped
+}
+
+// AggStatus is one shared aggregate's exchange state on this node.
+type AggStatus struct {
+	ID         string
+	Rate       units.Rate // global bound r
+	Floor      units.Rate // static fallback share r/N
+	Observed   units.Rate // local accept rate, last window
+	Applied    units.Rate // share currently enforced locally
+	GrantedIn  units.Rate // honored inbound grants at last rebalance
+	GrantedOut units.Rate // budget held back for grantees
+	Fallback   bool       // enforcing the conservative floor (degraded)
+}
+
+// Status is a point-in-time view of the node for operators.
+type Status struct {
+	Self      string
+	Seq       uint64
+	Window    time.Duration
+	Peers     []PeerStatus
+	Shared    []AggStatus
+	BadFrames int64
+	Handoffs  int64
+	Degraded  bool
+}
+
+// Status captures the node's current exchange state.
+func (n *Node) Status() Status {
+	now := n.cfg.Clock()
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	st := Status{
+		Self:      n.cfg.Self,
+		Seq:       n.seq,
+		Window:    n.cfg.Window,
+		BadFrames: n.badFrames,
+		Handoffs:  n.handoffs,
+	}
+	for _, p := range n.peerList {
+		age := time.Duration(-1)
+		if p.everHeard {
+			age = now - p.lastHeard
+		}
+		st.Peers = append(st.Peers, PeerStatus{
+			ID: p.id, State: p.state, LastExchangeAge: age,
+			LastSeq: p.lastSeq, Reports: p.reports, Stale: p.stale,
+		})
+	}
+	for _, id := range n.sharedIDs {
+		s := n.shared[id]
+		st.Shared = append(st.Shared, AggStatus{
+			ID: id, Rate: s.cfg.Rate, Floor: s.floor,
+			Observed: s.observed, Applied: s.applied,
+			GrantedIn: s.grantedIn, GrantedOut: heldOut(s.grantOut, len(n.peerList)),
+			Fallback: s.fallback,
+		})
+		if s.fallback {
+			st.Degraded = true
+		}
+	}
+	return st
+}
+
+// MetricFamilies renders the node's exchange state as Prometheus metric
+// families, ready to append to the engine's Metrics snapshot so one
+// /metrics scrape covers datapath and cluster alike.
+func (n *Node) MetricFamilies() []obs.Family {
+	st := n.Status()
+	peerState := obs.Family{
+		Name: "bcpqp_peer_state", Type: "gauge",
+		Help: "Cluster peer liveness (0=alive 1=suspect 2=dead).",
+	}
+	peerAge := obs.Family{
+		Name: "bcpqp_peer_last_exchange_age_seconds", Type: "gauge",
+		Help: "Seconds since the last valid budget-exchange report from the peer (-1 before the first).",
+	}
+	peerReports := obs.Family{
+		Name: "bcpqp_peer_reports_total", Type: "counter",
+		Help: "Valid budget-exchange reports accepted from the peer.",
+	}
+	peerStale := obs.Family{
+		Name: "bcpqp_peer_stale_reports_total", Type: "counter",
+		Help: "Duplicate or reordered-behind reports dropped by sequence number.",
+	}
+	for _, p := range st.Peers {
+		lbl := []obs.Label{{Name: "peer", Value: p.ID}}
+		peerState.Samples = append(peerState.Samples, obs.Sample{Labels: lbl, Value: float64(p.State)})
+		peerAge.Samples = append(peerAge.Samples, obs.Sample{Labels: lbl, Value: p.LastExchangeAge.Seconds()})
+		peerReports.Samples = append(peerReports.Samples, obs.Sample{Labels: lbl, Value: float64(p.Reports)})
+		peerStale.Samples = append(peerStale.Samples, obs.Sample{Labels: lbl, Value: float64(p.Stale)})
+	}
+	share := obs.Family{
+		Name: "bcpqp_cluster_share_bps", Type: "gauge",
+		Help: "Locally enforced share of the shared aggregate's global rate, bits/sec.",
+	}
+	fallback := obs.Family{
+		Name: "bcpqp_cluster_fallback", Type: "gauge",
+		Help: "1 when the aggregate is on its conservative static r/N share because the exchange is degraded.",
+	}
+	grantedIn := obs.Family{
+		Name: "bcpqp_cluster_granted_in_bps", Type: "gauge",
+		Help: "Honored inbound budget grants, bits/sec.",
+	}
+	grantedOut := obs.Family{
+		Name: "bcpqp_cluster_granted_out_bps", Type: "gauge",
+		Help: "Budget held back for grants ceded to peers, bits/sec.",
+	}
+	for _, a := range st.Shared {
+		lbl := []obs.Label{{Name: "aggregate", Value: a.ID}}
+		share.Samples = append(share.Samples, obs.Sample{Labels: lbl, Value: float64(a.Applied)})
+		fb := 0.0
+		if a.Fallback {
+			fb = 1
+		}
+		fallback.Samples = append(fallback.Samples, obs.Sample{Labels: lbl, Value: fb})
+		grantedIn.Samples = append(grantedIn.Samples, obs.Sample{Labels: lbl, Value: float64(a.GrantedIn)})
+		grantedOut.Samples = append(grantedOut.Samples, obs.Sample{Labels: lbl, Value: float64(a.GrantedOut)})
+	}
+	hygiene := obs.Family{
+		Name: "bcpqp_cluster_bad_frames_total", Type: "counter",
+		Help:    "Frames rejected by the wire decoder or from unknown senders.",
+		Samples: []obs.Sample{{Value: float64(st.BadFrames)}},
+	}
+	handoffs := obs.Family{
+		Name: "bcpqp_cluster_handoffs_total", Type: "counter",
+		Help:    "Aggregate state handoffs consumed after ring changes.",
+		Samples: []obs.Sample{{Value: float64(st.Handoffs)}},
+	}
+	return []obs.Family{peerState, peerAge, peerReports, peerStale,
+		share, fallback, grantedIn, grantedOut, hygiene, handoffs}
+}

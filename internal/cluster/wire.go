@@ -1,0 +1,261 @@
+// Wire protocol for the budget exchange: versioned, length-framed binary
+// messages built on the enforcer snapshot codec (little-endian, sticky
+// decode errors, trailing-byte rejection).
+//
+// Frames are small (one report covers every shared aggregate) and fit a
+// single UDP datagram for realistic configurations; the transport layer
+// treats them as opaque byte slices, so TCP framing or an in-memory test
+// bus carry them unchanged.
+//
+// Robustness contract, enforced here and proven by FuzzDecodeFrame:
+//
+//   - DecodeFrame never panics on any input.
+//   - Unknown magic, unknown version, unknown type, truncation, trailing
+//     bytes, NaN rates, negative rates, oversized counts and oversized IDs
+//     all reject with an error. The receiver treats a rejected frame
+//     exactly like silence (it counts it and moves on), which the protocol
+//     already survives — corruption therefore degrades to the partition
+//     path, never to bad state.
+//   - Length caps bound what a hostile frame can make the decoder allocate.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"bcpqp/internal/enforcer"
+	"bcpqp/internal/units"
+)
+
+// Frame magic: "BQXC" — Bounded-Queue eXChange. Mirrors the BQSN snapshot
+// magic so on-disk and on-wire artifacts are recognizably related.
+const (
+	frameMagic   = "BQXC"
+	wireVersion  = 1
+	typeReport   = 1
+	typeHandoff  = 2
+	maxIDLen     = 128 // node and aggregate IDs
+	maxEchoes    = 255 // one per peer; u8 count
+	maxAggs      = 255 // shared aggregates per report; u8 count
+	maxGrants    = 255 // one per peer per aggregate; u8 count
+	maxStateBlob = 1 << 20
+)
+
+// ErrBadFrame tags every decode rejection; errors.Is(err, ErrBadFrame)
+// holds for any malformed input.
+var ErrBadFrame = errors.New("cluster: bad frame")
+
+// Echo acknowledges the latest report sequence number heard from one peer.
+// Echoes make freshness symmetric: I honor your grant only while your
+// report proves you have recently heard ME, which defeats one-way
+// partitions and arbitrarily delayed replays (a stale echo ages out even
+// though the frame itself is intact).
+type Echo struct {
+	Peer string
+	Seq  uint64
+}
+
+// Grant cedes part of the sender's budget for one aggregate to one peer.
+// The sender holds the ceded amount out of its own share for longer than
+// the grant can possibly be honored, so the global bound survives any
+// delivery schedule.
+type Grant struct {
+	To  string
+	Bps units.Rate
+}
+
+// AggReport is one shared aggregate's entry in a report: the sender's
+// observed accept rate, the share it is currently enforcing, and the
+// budget it cedes to needier peers.
+type AggReport struct {
+	ID       string
+	Observed units.Rate // accept rate over the last window, bits/sec
+	Applied  units.Rate // share currently enforced, bits/sec
+	Grants   []Grant
+}
+
+// Frame is one decoded budget-exchange message.
+type Frame struct {
+	Type   uint8 // typeReport or typeHandoff
+	Sender string
+	Seq    uint64
+
+	// Report fields.
+	Echoes []Echo
+	Aggs   []AggReport
+
+	// Handoff fields: a BQSN-framed aggregate snapshot migrating to the new
+	// ring owner.
+	AggID string
+	State []byte
+}
+
+// EncodeReport builds a report frame. Callers keep Echoes/Aggs within the
+// wire caps; oversized inputs are truncated rather than generating an
+// undecodable frame.
+func EncodeReport(sender string, seq uint64, echoes []Echo, aggs []AggReport) []byte {
+	var e enforcer.Enc
+	e.Bytes([]byte(frameMagic))
+	e.U8(wireVersion)
+	e.U8(typeReport)
+	e.Bytes([]byte(clampID(sender)))
+	e.U64(seq)
+	if len(echoes) > maxEchoes {
+		echoes = echoes[:maxEchoes]
+	}
+	e.U8(uint8(len(echoes)))
+	for _, ec := range echoes {
+		e.Bytes([]byte(clampID(ec.Peer)))
+		e.U64(ec.Seq)
+	}
+	if len(aggs) > maxAggs {
+		aggs = aggs[:maxAggs]
+	}
+	e.U8(uint8(len(aggs)))
+	for _, a := range aggs {
+		e.Bytes([]byte(clampID(a.ID)))
+		e.F64(float64(a.Observed))
+		e.F64(float64(a.Applied))
+		grants := a.Grants
+		if len(grants) > maxGrants {
+			grants = grants[:maxGrants]
+		}
+		e.U8(uint8(len(grants)))
+		for _, g := range grants {
+			e.Bytes([]byte(clampID(g.To)))
+			e.F64(float64(g.Bps))
+		}
+	}
+	return e.Out()
+}
+
+// EncodeHandoff builds a handoff frame carrying one aggregate's snapshot
+// blob to its new owner after a ring change.
+func EncodeHandoff(sender string, seq uint64, aggID string, state []byte) []byte {
+	var e enforcer.Enc
+	e.Bytes([]byte(frameMagic))
+	e.U8(wireVersion)
+	e.U8(typeHandoff)
+	e.Bytes([]byte(clampID(sender)))
+	e.U64(seq)
+	e.Bytes([]byte(clampID(aggID)))
+	e.Bytes(state)
+	return e.Out()
+}
+
+// DecodeFrame parses one frame. Any malformation returns an error wrapping
+// ErrBadFrame; the returned Frame is nil on error. Decoded byte slices are
+// copied, so the caller's buffer may be recycled.
+func DecodeFrame(data []byte) (*Frame, error) {
+	d := enforcer.NewDec(data)
+	if magic := d.Bytes(); string(magic) != frameMagic {
+		return nil, fmt.Errorf("%w: magic %q", ErrBadFrame, magic)
+	}
+	if v := d.U8(); v != wireVersion {
+		return nil, fmt.Errorf("%w: version %d (want %d)", ErrBadFrame, v, wireVersion)
+	}
+	f := &Frame{Type: d.U8()}
+	var err error
+	if f.Sender, err = decodeID(d, "sender"); err != nil {
+		return nil, err
+	}
+	f.Seq = d.U64()
+	switch f.Type {
+	case typeReport:
+		if err := decodeReport(d, f); err != nil {
+			return nil, err
+		}
+	case typeHandoff:
+		if f.AggID, err = decodeID(d, "aggregate"); err != nil {
+			return nil, err
+		}
+		state := d.Bytes()
+		if len(state) > maxStateBlob {
+			return nil, fmt.Errorf("%w: state blob %d bytes exceeds %d", ErrBadFrame, len(state), maxStateBlob)
+		}
+		f.State = append([]byte(nil), state...)
+	default:
+		return nil, fmt.Errorf("%w: type %d", ErrBadFrame, f.Type)
+	}
+	if err := d.Finish(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFrame, err)
+	}
+	return f, nil
+}
+
+func decodeReport(d *enforcer.Dec, f *Frame) error {
+	nEchoes := int(d.U8())
+	if nEchoes > 0 {
+		f.Echoes = make([]Echo, 0, nEchoes)
+	}
+	for i := 0; i < nEchoes; i++ {
+		peer, err := decodeID(d, "echo peer")
+		if err != nil {
+			return err
+		}
+		f.Echoes = append(f.Echoes, Echo{Peer: peer, Seq: d.U64()})
+	}
+	nAggs := int(d.U8())
+	if nAggs > 0 {
+		f.Aggs = make([]AggReport, 0, nAggs)
+	}
+	for i := 0; i < nAggs; i++ {
+		id, err := decodeID(d, "aggregate")
+		if err != nil {
+			return err
+		}
+		a := AggReport{ID: id, Observed: units.Rate(d.F64()), Applied: units.Rate(d.F64())}
+		if d.Err() == nil && !(finiteRate(a.Observed) && finiteRate(a.Applied)) {
+			return fmt.Errorf("%w: non-finite or negative rate for %q", ErrBadFrame, id)
+		}
+		nGrants := int(d.U8())
+		if nGrants > 0 {
+			a.Grants = make([]Grant, 0, nGrants)
+		}
+		for j := 0; j < nGrants; j++ {
+			to, err := decodeID(d, "grant peer")
+			if err != nil {
+				return err
+			}
+			g := Grant{To: to, Bps: units.Rate(d.F64())}
+			if d.Err() == nil && !finiteRate(g.Bps) {
+				return fmt.Errorf("%w: non-finite or negative grant to %q", ErrBadFrame, to)
+			}
+			a.Grants = append(a.Grants, g)
+		}
+		f.Aggs = append(f.Aggs, a)
+	}
+	return nil
+}
+
+// decodeID reads one length-prefixed ID, enforcing the size cap and
+// surfacing any sticky decode error immediately (so a truncated frame fails
+// here rather than producing a phantom empty ID).
+func decodeID(d *enforcer.Dec, what string) (string, error) {
+	b := d.Bytes()
+	if err := d.Err(); err != nil {
+		return "", fmt.Errorf("%w: %s: %v", ErrBadFrame, what, err)
+	}
+	if len(b) == 0 {
+		return "", fmt.Errorf("%w: empty %s id", ErrBadFrame, what)
+	}
+	if len(b) > maxIDLen {
+		return "", fmt.Errorf("%w: %s id %d bytes exceeds %d", ErrBadFrame, what, len(b), maxIDLen)
+	}
+	return string(b), nil
+}
+
+// finiteRate accepts exactly the rates the share calculus can digest:
+// finite and non-negative. NaN is already rejected by the codec; infinity
+// would poison the grant arithmetic (Inf/Inf = NaN shares).
+func finiteRate(r units.Rate) bool {
+	return r >= 0 && !math.IsInf(float64(r), 0)
+}
+
+func clampID(id string) string {
+	if len(id) > maxIDLen {
+		return id[:maxIDLen]
+	}
+	return id
+}

@@ -1,0 +1,150 @@
+package cluster
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"bcpqp/internal/enforcer"
+	"bcpqp/internal/units"
+)
+
+func sampleReport() ([]byte, string, uint64) {
+	echoes := []Echo{{Peer: "node-b", Seq: 41}, {Peer: "node-c", Seq: 39}}
+	aggs := []AggReport{
+		{ID: "tenant-1", Observed: 80e6, Applied: 90e6, Grants: []Grant{
+			{To: "node-b", Bps: 5e6}, {To: "node-c", Bps: 2.5e6},
+		}},
+		{ID: "tenant-2", Observed: 0, Applied: 33.3e6},
+	}
+	return EncodeReport("node-a", 42, echoes, aggs), "node-a", 42
+}
+
+// TestWireReportRoundtrip: encode → decode is lossless.
+func TestWireReportRoundtrip(t *testing.T) {
+	frame, sender, seq := sampleReport()
+	f, err := DecodeFrame(frame)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if f.Sender != sender || f.Seq != seq || f.Type != typeReport {
+		t.Fatalf("header mismatch: %+v", f)
+	}
+	if len(f.Echoes) != 2 || f.Echoes[0] != (Echo{Peer: "node-b", Seq: 41}) {
+		t.Fatalf("echoes: %+v", f.Echoes)
+	}
+	if len(f.Aggs) != 2 {
+		t.Fatalf("aggs: %+v", f.Aggs)
+	}
+	a := f.Aggs[0]
+	if a.ID != "tenant-1" || a.Observed != 80e6 || a.Applied != 90e6 ||
+		len(a.Grants) != 2 || a.Grants[1] != (Grant{To: "node-c", Bps: 2.5e6}) {
+		t.Fatalf("agg 0: %+v", a)
+	}
+	if f.Aggs[1].Observed != 0 || len(f.Aggs[1].Grants) != 0 {
+		t.Fatalf("agg 1: %+v", f.Aggs[1])
+	}
+}
+
+// TestWireHandoffRoundtrip: handoff frames carry the state blob intact and
+// copied (not aliasing the input).
+func TestWireHandoffRoundtrip(t *testing.T) {
+	state := []byte("BQSN-pretend-snapshot-blob")
+	frame := EncodeHandoff("node-a", 7, "tenant-9", state)
+	f, err := DecodeFrame(frame)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if f.Type != typeHandoff || f.Sender != "node-a" || f.Seq != 7 || f.AggID != "tenant-9" {
+		t.Fatalf("header: %+v", f)
+	}
+	if string(f.State) != string(state) {
+		t.Fatalf("state: %q", f.State)
+	}
+	frame[len(frame)-1] ^= 0xff
+	if string(f.State) != string(state) {
+		t.Fatal("decoded state aliases the input frame")
+	}
+}
+
+// TestWireRejections: every malformation class rejects with ErrBadFrame
+// and a nil frame — corruption must degrade to the silence path.
+func TestWireRejections(t *testing.T) {
+	good, _, _ := sampleReport()
+	cases := []struct {
+		name  string
+		frame []byte
+	}{
+		{"empty", nil},
+		{"short magic", good[:3]},
+		{"bad magic", append([]byte("\x04\x00\x00\x00XXXX"), good[8:]...)},
+		{"version skew", func() []byte {
+			f := append([]byte(nil), good...)
+			f[8] = 99 // version byte follows the length-prefixed magic
+			return f
+		}()},
+		{"unknown type", func() []byte {
+			f := append([]byte(nil), good...)
+			f[9] = 77
+			return f
+		}()},
+		{"truncated mid-agg", good[:len(good)-5]},
+		{"trailing bytes", append(append([]byte(nil), good...), 0xde, 0xad)},
+		{"oversized id", func() []byte {
+			// Hand-rolled: EncodeReport clamps IDs, so build a frame whose
+			// sender id exceeds the cap directly.
+			var e enforcer.Enc
+			e.Bytes([]byte(frameMagic))
+			e.U8(wireVersion)
+			e.U8(typeReport)
+			e.Bytes([]byte(strings.Repeat("x", maxIDLen+1)))
+			e.U64(1)
+			e.U8(0)
+			e.U8(0)
+			return e.Out()
+		}()},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f, err := DecodeFrame(tc.frame)
+			if err == nil {
+				t.Fatalf("decoded successfully: %+v", f)
+			}
+			if !errors.Is(err, ErrBadFrame) {
+				t.Fatalf("error %v does not wrap ErrBadFrame", err)
+			}
+			if f != nil {
+				t.Fatal("non-nil frame on error")
+			}
+		})
+	}
+}
+
+// TestWireRejectsNegativeAndNaNRates: decodable frames with semantically
+// poisonous values (negative shares, NaN) must also reject.
+func TestWireRejectsNegativeAndNaNRates(t *testing.T) {
+	neg := EncodeReport("a", 1, nil, []AggReport{{ID: "t", Observed: -5, Applied: 1}})
+	if _, err := DecodeFrame(neg); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("negative observed accepted: %v", err)
+	}
+	negGrant := EncodeReport("a", 1, nil, []AggReport{{ID: "t", Grants: []Grant{{To: "b", Bps: -1}}}})
+	if _, err := DecodeFrame(negGrant); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("negative grant accepted: %v", err)
+	}
+	nan := EncodeReport("a", 1, nil, []AggReport{{ID: "t", Observed: units.Rate(nanRate())}})
+	if _, err := DecodeFrame(nan); err == nil {
+		t.Fatal("NaN rate accepted")
+	}
+}
+
+func nanRate() float64 {
+	z := 0.0
+	return z / z
+}
+
+// TestWireEmptySenderRejected: an ID-free frame cannot attribute state.
+func TestWireEmptySenderRejected(t *testing.T) {
+	if _, err := DecodeFrame(EncodeReport("", 1, nil, nil)); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("empty sender accepted: %v", err)
+	}
+}

@@ -310,6 +310,12 @@ type Engine struct {
 	// coalescing in enqueue (0 without an Observer).
 	obsSample int
 
+	// extraMetrics holds metric-family sources attached by subsystems
+	// layered above the engine (e.g. the cluster budget exchange), guarded
+	// by extraMu; Metrics appends their families to every snapshot.
+	extraMu      sync.Mutex
+	extraMetrics []func() []obs.Family
+
 	pool        sync.Pool // *burst
 	flushStop   chan struct{}
 	dead        chan struct{} // closed once Close finished (shards exited or abandoned)

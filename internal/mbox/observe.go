@@ -165,13 +165,34 @@ func (e *Engine) Metrics() obs.Snapshot {
 		counter("bcpqp_bursts_enforced_total", "enforced bursts observed across all shards", float64(c.Bursts()))
 		h := c.BurstHist()
 		fams = append(fams, obs.Family{
-			Name: "bcpqp_burst_enforce_seconds",
-			Help: "per-burst enforcement latency on the shard goroutines",
-			Type: "histogram",
+			Name:    "bcpqp_burst_enforce_seconds",
+			Help:    "per-burst enforcement latency on the shard goroutines",
+			Type:    "histogram",
 			Samples: []obs.Sample{{Hist: &h}},
 		})
 	}
+
+	e.extraMu.Lock()
+	sources := e.extraMetrics
+	e.extraMu.Unlock()
+	for _, src := range sources {
+		fams = append(fams, src()...)
+	}
 	return obs.Snapshot{Families: fams}
+}
+
+// AttachMetricSource registers an additional metric-family source whose
+// output Metrics appends to every snapshot — how layered subsystems (the
+// cluster budget exchange) join the engine's /metrics exposition without
+// the engine depending on them. Sources must be safe to call from any
+// goroutine and are never detached.
+func (e *Engine) AttachMetricSource(src func() []obs.Family) {
+	if src == nil {
+		return
+	}
+	e.extraMu.Lock()
+	e.extraMetrics = append(e.extraMetrics, src)
+	e.extraMu.Unlock()
 }
 
 // maxNodeMetricSamples bounds how many nodes one NodeMetrics call exports:

@@ -1,8 +1,8 @@
 #!/bin/sh
 # bench-compare: benchmark the datapath at HEAD (including uncommitted
 # changes) against a base revision in a throwaway git worktree, and fail
-# when the mean pkts/sec of any compared benchmark regresses beyond the
-# budget. benchstat, when installed, adds its statistical summary; the
+# when the mean throughput (pkts/sec or shares/sec) of any compared
+# benchmark regresses beyond the budget. benchstat, when installed, adds its statistical summary; the
 # pass/fail gate itself needs only git, go and awk — nothing is ever
 # downloaded here.
 #
@@ -12,7 +12,8 @@
 # falling back to HEAD~1 when that is HEAD itself (e.g. running on main).
 #
 # Environment:
-#   BENCH   benchmark regexp      (default: the middlebox + policy-tree SubmitBatch pair)
+#   BENCH   benchmark regexp      (default: the middlebox + policy-tree SubmitBatch pair
+#                                  plus the cluster rebalance tick)
 #   COUNT   repetitions per side  (default 6)
 #   BUDGET  allowed mean pkts/sec regression in percent (default 10)
 #   OUTDIR  where base.txt / head.txt are written (default: a temp dir)
@@ -20,7 +21,7 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-BENCH="${BENCH:-^(BenchmarkMiddleboxSubmitBatch|BenchmarkPolicyTreeSubmitBatch)\$}"
+BENCH="${BENCH:-^(BenchmarkMiddleboxSubmitBatch|BenchmarkPolicyTreeSubmitBatch|BenchmarkClusterRebalance)\$}"
 COUNT="${COUNT:-6}"
 BUDGET="${BUDGET:-10}"
 
@@ -66,12 +67,14 @@ else
 		"(go install golang.org/x/perf/cmd/benchstat@latest)"
 fi
 
-# The gate: per benchmark present on both sides, the head's mean pkts/sec
-# must not be more than BUDGET percent below the base's.
+# The gate: per benchmark present on both sides, the head's mean throughput
+# (pkts/sec for the datapath, shares/sec for the cluster rebalance) must not
+# be more than BUDGET percent below the base's. A benchmark present on only
+# one side (e.g. newly added at head) is skipped, not failed.
 awk -v budget="$BUDGET" '
 	FNR == 1 { side++ }
 	/^Benchmark/ {
-		for (i = 2; i < NF; i++) if ($(i + 1) == "pkts/sec") {
+		for (i = 2; i < NF; i++) if ($(i + 1) == "pkts/sec" || $(i + 1) == "shares/sec") {
 			sum[side, $1] += $i; n[side, $1]++
 			if (side == 1) names[$1] = 1
 		}
@@ -87,7 +90,7 @@ awk -v budget="$BUDGET" '
 			if (delta < -budget) fail = 1
 		}
 		if (!compared) { print "bench-compare: FAIL: no benchmark present on both sides"; exit 1 }
-		if (fail) { print "bench-compare: FAIL: mean pkts/sec regression beyond " budget "%"; exit 1 }
+		if (fail) { print "bench-compare: FAIL: mean throughput regression beyond " budget "%"; exit 1 }
 		print "bench-compare: OK (within the " budget "% budget)"
 	}
 ' "$OUTDIR/base.txt" "$OUTDIR/head.txt"
