@@ -29,6 +29,7 @@ type clusterOpts struct {
 	listen string            // exchange UDP listener
 	shared bool              // enforce the proxy aggregate cluster-wide
 	rate   bcpqp.Rate        // global bound r for the shared aggregate
+	key    string            // shared frame-authentication secret ("" = trusted net)
 }
 
 func (o clusterOpts) enabled() bool { return o.nodeID != "" }
@@ -89,6 +90,9 @@ func startCluster(mb *bcpqp.Middlebox, col *bcpqp.Collector, o clusterOpts) (*bc
 		Self:      o.nodeID,
 		Peers:     peerIDs,
 		Transport: tr,
+	}
+	if o.key != "" {
+		cfg.Key = []byte(o.key)
 	}
 	if col != nil { // a typed-nil Recorder would defeat the node's nil check
 		cfg.Recorder = col

@@ -99,6 +99,7 @@ func TestClusterProxyEndToEnd(t *testing.T) {
 				listen: addrA,
 				shared: true,
 				rate:   bcpqp.Rate(8) * bcpqp.Mbps,
+				key:    "proxy-e2e-secret",
 			},
 		})
 	}()
@@ -170,6 +171,7 @@ func TestClusterProxyEndToEnd(t *testing.T) {
 	var bShare atomic.Int64
 	nodeB, err := bcpqp.NewClusterNode(bcpqp.ClusterConfig{
 		Self: "b", Peers: []string{"a"}, Transport: trB,
+		Key: []byte("proxy-e2e-secret"),
 	}, []bcpqp.SharedAggregate{{
 		ID:       proxyAggregate,
 		Rate:     bcpqp.Rate(8) * bcpqp.Mbps,

@@ -57,6 +57,7 @@ func main() {
 		nodeID   = flag.String("node-id", "", "cluster node id: enables the peer budget exchange (requires -cluster-listen)")
 		peerSpec = flag.String("peers", "", "cluster peers as id=host:port,id2=host:port (exchange addresses, not datapath)")
 		clListen = flag.String("cluster-listen", "", "UDP address the budget exchange listens on (e.g. :7400)")
+		clKey    = flag.String("cluster-key", "", "shared secret authenticating budget-exchange frames (HMAC-SHA256); all peers must agree. Empty sends frames unauthenticated — only safe on a trusted network")
 		sharedFl = flag.Bool("shared", false, "enforce -rate as the CLUSTER-WIDE bound for the proxy aggregate: start at the static r/N share and let the budget exchange reclaim idle peers' headroom")
 		drain    = flag.Duration("drain-timeout", 5*time.Second, "graceful-shutdown drain deadline on SIGTERM/SIGINT")
 		selftest = flag.Bool("selftest", false, "run the loopback demonstration and exit")
@@ -93,6 +94,7 @@ func main() {
 			listen: *clListen,
 			shared: *sharedFl,
 			rate:   bcpqp.Rate(*rateMbps) * bcpqp.Mbps,
+			key:    *clKey,
 		}
 	}
 

@@ -89,6 +89,21 @@ type Config struct {
 
 	// Seed feeds retry jitter (deterministic per node).
 	Seed uint64
+
+	// Key, when non-empty, seals every frame with a truncated HMAC-SHA256
+	// tag and rejects inbound frames that fail verification. All peers
+	// must share the key. An empty key sends frames in the clear and
+	// accepts them from anyone who can reach the socket — sound only on a
+	// trusted network (DESIGN.md "Distributed enforcement").
+	Key []byte
+
+	// Epoch identifies this boot on the wire. Sequence numbers restart at
+	// zero on every process start, so peers use the epoch to tell a
+	// rebooted node (epoch advanced, accept and reset) from a replayed or
+	// stale report (epoch behind, drop). Zero (the default) derives the
+	// epoch from the wall clock at New, which is strictly increasing
+	// across restarts; tests pin it for reproducibility.
+	Epoch uint64
 }
 
 // shared is the node-local exchange state for one shared aggregate.
@@ -116,9 +131,12 @@ type Node struct {
 	peerIDs []string // sorted, Self excluded
 	ring    *Ring    // over Self + Peers
 
-	mu        sync.Mutex
-	seq       uint64 // report sequence, one per tick
-	tickIdx   int    // seq % holdTicks, the hold-ring slot
+	epoch uint64 // this boot's incarnation, carried in every frame
+
+	mu         sync.Mutex
+	seq        uint64 // report sequence, one per tick
+	handoffSeq uint64 // separate space for handoff frames (never echoed)
+	tickIdx    int    // seq % holdTicks, the hold-ring slot
 	peers     map[string]*peer
 	peerList  []*peer // sorted by ID
 	shared    map[string]*shared
@@ -177,11 +195,15 @@ func New(cfg Config, aggs []SharedAggregate) (*Node, error) {
 	}
 	n := &Node{
 		cfg:     cfg,
+		epoch:   cfg.Epoch,
 		peers:   make(map[string]*peer),
 		shared:  make(map[string]*shared),
 		jitter:  rng.New(cfg.Seed ^ hash64(cfg.Self)),
 		started: time.Now(),
 		done:    make(chan struct{}),
+	}
+	if n.epoch == 0 {
+		n.epoch = uint64(n.started.UnixNano())
 	}
 	if cfg.Clock == nil {
 		n.cfg.Clock = func() time.Duration { return time.Since(n.started) }
@@ -379,7 +401,7 @@ func (n *Node) broadcast(now time.Duration) {
 	n.echoes = n.echoes[:0]
 	for _, p := range n.peerList {
 		if p.everHeard {
-			n.echoes = append(n.echoes, Echo{Peer: p.id, Seq: p.lastSeq})
+			n.echoes = append(n.echoes, Echo{Peer: p.id, Epoch: p.epoch, Seq: p.lastSeq})
 		}
 	}
 	n.aggRpts = n.aggRpts[:0]
@@ -389,7 +411,7 @@ func (n *Node) broadcast(now time.Duration) {
 			ID: id, Observed: s.observed, Applied: s.applied, Grants: s.grants,
 		})
 	}
-	frame := EncodeReport(n.cfg.Self, n.seq, n.echoes, n.aggRpts)
+	frame := sealFrame(n.cfg.Key, EncodeReport(n.cfg.Self, n.epoch, n.seq, n.echoes, n.aggRpts))
 	n.mu.Unlock()
 
 	for _, id := range n.peerIDs {
@@ -441,12 +463,20 @@ func (n *Node) sendWithRetry(peerID string, frame []byte) {
 	}()
 }
 
-// Deliver ingests one frame from the transport. Malformed frames, unknown
-// senders, and stale sequence numbers are counted and dropped — every
-// rejection degrades to the silence path the protocol already survives.
-// The returned error is for transport-level logging only.
+// Deliver ingests one frame from the transport. Unauthenticated (when a
+// key is configured), malformed, unknown-sender, and stale frames are all
+// counted and dropped — every rejection degrades to the silence path the
+// protocol already survives. The returned error is for transport-level
+// logging only.
 func (n *Node) Deliver(frame []byte) error {
-	f, err := DecodeFrame(frame)
+	body, err := openFrame(n.cfg.Key, frame)
+	if err != nil {
+		n.mu.Lock()
+		n.badFrames++
+		n.mu.Unlock()
+		return err
+	}
+	f, err := DecodeFrame(body)
 	if err != nil {
 		n.mu.Lock()
 		n.badFrames++
@@ -471,17 +501,37 @@ func (n *Node) deliverReport(f *Frame, now time.Duration) error {
 		n.mu.Unlock()
 		return fmt.Errorf("cluster: report from unknown peer %q", f.Sender)
 	}
-	if p.everHeard && f.Seq <= p.lastSeq {
+	if p.everHeard && f.Epoch < p.epoch {
+		p.stale++
+		n.mu.Unlock()
+		return nil // frame from a previous incarnation of the peer
+	}
+	if p.everHeard && f.Epoch == p.epoch && f.Seq <= p.lastSeq {
 		p.stale++
 		n.mu.Unlock()
 		return nil // duplicate or reordered-behind: already superseded
+	}
+	if !p.everHeard || f.Epoch > p.epoch {
+		// First contact, or the peer rebooted: its sequence space restarted,
+		// so everything remembered about the old incarnation — the echo of
+		// our seq it last carried and all per-aggregate state — is void.
+		// Without this reset a restarted peer's low post-boot seqs would be
+		// dropped as "stale" until they re-exceeded the pre-restart value,
+		// pinning the whole cluster in fallback for the old uptime.
+		p.epoch = f.Epoch
+		p.echoOfMe = 0
+		for _, pa := range p.aggs {
+			pa.observed, pa.applied, pa.grantToMe = 0, 0, 0
+		}
 	}
 	p.everHeard = true
 	p.lastSeq = f.Seq
 	p.lastHeard = now
 	p.reports++
 	for _, e := range f.Echoes {
-		if e.Peer == n.cfg.Self && e.Seq > p.echoOfMe {
+		// Only an echo of THIS boot's sequence space proves recency; an
+		// echoed pre-restart seq would spuriously satisfy the fresh() check.
+		if e.Peer == n.cfg.Self && e.Epoch == n.epoch && e.Seq > p.echoOfMe {
 			p.echoOfMe = e.Seq
 		}
 	}
@@ -495,11 +545,21 @@ func (n *Node) deliverReport(f *Frame, now time.Duration) error {
 			pa = &peerAgg{}
 			p.aggs[a.ID] = pa
 		}
+		pa.stamp = p.reports
 		pa.observed, pa.applied, pa.grantToMe = a.Observed, a.Applied, 0
 		for _, g := range a.Grants {
 			if g.To == n.cfg.Self {
 				pa.grantToMe += g.Bps
 			}
+		}
+	}
+	// A fresh report that omits an aggregate revokes any standing grant for
+	// it: after config skew (e.g. a restart with a different shared set) the
+	// grantor no longer holds anything back, so honoring the old grant would
+	// over-admit — and the per-peer freshness check alone cannot catch it.
+	for _, pa := range p.aggs {
+		if pa.stamp != p.reports {
+			pa.grantToMe = 0
 		}
 	}
 	var tr *transition
@@ -561,9 +621,13 @@ func (n *Node) Migrate(prev *Ring, ids []string, snap func(id string) ([]byte, e
 			}
 			continue
 		}
+		// Handoff frames use their own sequence space: receivers never echo
+		// them, and bumping the report seq here would make every peer's echo
+		// look stale for echoSlack ticks (full fallback for a round trip)
+		// whenever more than a couple of aggregates migrate at once.
 		n.mu.Lock()
-		n.seq++
-		frame := EncodeHandoff(n.cfg.Self, n.seq, id, state)
+		n.handoffSeq++
+		frame := sealFrame(n.cfg.Key, EncodeHandoff(n.cfg.Self, n.epoch, n.handoffSeq, id, state))
 		n.mu.Unlock()
 		n.sendWithRetry(newOwner, frame)
 		sent++
@@ -572,8 +636,13 @@ func (n *Node) Migrate(prev *Ring, ids []string, snap func(id string) ([]byte, e
 }
 
 // Run starts the exchange loop on the window cadence until Close. The
-// transport's receive path must already be wired to Deliver.
+// transport's receive path must already be wired to Deliver. The first
+// tick runs synchronously before Run returns: a cold node must pull the
+// engine down to its conservative share immediately, not after one full
+// window during which the engine would still enforce whatever rate it was
+// built with (up to N·r cluster-wide).
 func (n *Node) Run() {
+	n.Tick(n.cfg.Clock())
 	n.wg.Add(1)
 	go func() {
 		defer n.wg.Done()

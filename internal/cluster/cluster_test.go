@@ -28,6 +28,8 @@ const (
 // model feeding its Observed callback.
 type simNode struct {
 	node     *Node
+	epoch    uint64     // boot incarnation, advanced by restart
+	down     bool       // stopped by stop(); skipped by step until restart
 	demand   units.Rate // offered load
 	applied  units.Rate // share the exchange last applied
 	fallback bool
@@ -75,36 +77,9 @@ func newClusterSim(t *testing.T, n int, plan func(from, to string) faultinject.N
 		sim.ids = append(sim.ids, fmt.Sprintf("node-%d", i))
 	}
 	for _, id := range sim.ids {
-		sn := &simNode{}
-		peers := make([]string, 0, n-1)
-		for _, p := range sim.ids {
-			if p != id {
-				peers = append(peers, p)
-			}
-		}
-		node, err := New(Config{
-			Self:      id,
-			Peers:     peers,
-			Window:    simWindow,
-			Transport: &memTransport{from: id, sim: sim},
-			Clock:     func() time.Duration { return sim.now },
-			Seed:      1,
-		}, []SharedAggregate{{
-			ID:   simAgg,
-			Rate: simRate,
-			Observed: func() (int64, bool) {
-				return int64(sn.accepted), true
-			},
-			Apply: func(share units.Rate, fallback bool) error {
-				sn.applied, sn.fallback = share, fallback
-				return nil
-			},
-		}})
-		if err != nil {
-			t.Fatal(err)
-		}
-		sn.node = node
+		sn := &simNode{epoch: 1}
 		sim.nodes[id] = sn
+		sn.node = sim.makeNode(id, sn)
 	}
 	for _, from := range sim.ids {
 		sim.links[from] = make(map[string]*faultinject.NetLink)
@@ -112,12 +87,14 @@ func newClusterSim(t *testing.T, n int, plan func(from, to string) faultinject.N
 			if from == to {
 				continue
 			}
-			dst := sim.nodes[to].node
+			to := to
 			p := faultinject.NetPlan{}
 			if plan != nil {
 				p = plan(from, to)
 			}
-			sim.links[from][to] = faultinject.NewNetLink(func(f []byte) { dst.Deliver(f) }, p)
+			// Look the receiver up at delivery time, not link-creation time,
+			// so restart() can swap a node's incarnation under live links.
+			sim.links[from][to] = faultinject.NewNetLink(func(f []byte) { sim.nodes[to].node.Deliver(f) }, p)
 		}
 	}
 	t.Cleanup(func() {
@@ -126,6 +103,61 @@ func newClusterSim(t *testing.T, n int, plan func(from, to string) faultinject.N
 		}
 	})
 	return sim
+}
+
+// makeNode builds one incarnation of a sim member at sn's current epoch.
+func (s *clusterSim) makeNode(id string, sn *simNode) *Node {
+	s.t.Helper()
+	peers := make([]string, 0, len(s.ids)-1)
+	for _, p := range s.ids {
+		if p != id {
+			peers = append(peers, p)
+		}
+	}
+	node, err := New(Config{
+		Self:      id,
+		Peers:     peers,
+		Window:    simWindow,
+		Transport: &memTransport{from: id, sim: s},
+		Clock:     func() time.Duration { return s.now },
+		Seed:      1,
+		Epoch:     sn.epoch,
+	}, []SharedAggregate{{
+		ID:   simAgg,
+		Rate: simRate,
+		Observed: func() (int64, bool) {
+			return int64(sn.accepted), true
+		},
+		Apply: func(share units.Rate, fallback bool) error {
+			sn.applied, sn.fallback = share, fallback
+			return nil
+		},
+	}})
+	if err != nil {
+		s.t.Fatal(err)
+	}
+	return node
+}
+
+// stop takes id down: its Node is closed and step stops ticking it, as if
+// the process exited.
+func (s *clusterSim) stop(id string) {
+	s.nodes[id].down = true
+	s.nodes[id].node.Close()
+}
+
+// restart brings id back as a fresh incarnation — sequence numbers back to
+// zero under an advanced epoch, the documented ring-change / restart
+// procedure. The engine-side byte counter (sn.accepted) survives, as the
+// real engine's would across a cluster-layer restart.
+func (s *clusterSim) restart(id string) {
+	sn := s.nodes[id]
+	if !sn.down {
+		sn.node.Close()
+	}
+	sn.epoch++
+	sn.node = s.makeNode(id, sn)
+	sn.down = false
 }
 
 // step advances one window: accrue fluid traffic, advance virtual time
@@ -146,7 +178,9 @@ func (s *clusterSim) step() {
 		}
 	}
 	for _, id := range s.ids {
-		s.nodes[id].node.Tick(s.now)
+		if sn := s.nodes[id]; !sn.down {
+			sn.node.Tick(s.now)
+		}
 	}
 }
 
@@ -341,7 +375,7 @@ func TestClusterStaleAndCorruptFrames(t *testing.T) {
 	n0 := sim.nodes["node-0"].node
 
 	// Replay node-1's current report twice by hand.
-	frame := EncodeReport("node-1", 3, nil, nil) // seq 3 < current (5): stale
+	frame := EncodeReport("node-1", 1, 3, nil, nil) // seq 3 < current (5): stale
 	if err := n0.Deliver(frame); err != nil {
 		t.Fatalf("stale frame returned delivery error: %v", err)
 	}
@@ -350,10 +384,24 @@ func TestClusterStaleAndCorruptFrames(t *testing.T) {
 		t.Fatal("stale replay not counted")
 	}
 
+	// A frame from a PREVIOUS incarnation is stale no matter how high its
+	// seq: epoch 0 predates node-1's current boot (epoch 1).
+	staleBefore := st.Peers[0].Stale
+	if err := n0.Deliver(EncodeReport("node-1", 0, 999, nil, nil)); err != nil {
+		t.Fatalf("old-incarnation frame returned delivery error: %v", err)
+	}
+	st = n0.Status()
+	if st.Peers[0].Stale != staleBefore+1 {
+		t.Fatal("old-incarnation replay not dropped as stale")
+	}
+	if st.Peers[0].LastSeq == 999 {
+		t.Fatal("old-incarnation seq 999 overwrote the live sequence")
+	}
+
 	if err := n0.Deliver([]byte("garbage-not-a-frame")); err == nil {
 		t.Fatal("garbage frame accepted")
 	}
-	if err := n0.Deliver(EncodeReport("node-9", 99, nil, nil)); err == nil {
+	if err := n0.Deliver(EncodeReport("node-9", 1, 99, nil, nil)); err == nil {
 		t.Fatal("unknown-sender frame accepted")
 	}
 	st = n0.Status()
@@ -412,11 +460,18 @@ func TestClusterMigrateHandoff(t *testing.T) {
 			wantMoved++
 		}
 	}
+	seqBefore := a.Status().Seq
 	sent, err := a.Migrate(prev, ids, func(id string) ([]byte, error) {
 		return []byte("state-of-" + id), nil
 	})
 	if err != nil {
 		t.Fatal(err)
+	}
+	// Handoffs ride their own sequence space: migrating dozens of
+	// aggregates must not advance the report seq (which would make every
+	// peer's echo look stale and drop the node into full fallback).
+	if got := a.Status().Seq; got != seqBefore {
+		t.Fatalf("Migrate advanced the report seq %d → %d", seqBefore, got)
 	}
 	if sent != wantMoved || sent == 0 {
 		t.Fatalf("migrated %d aggregates, want %d (nonzero)", sent, wantMoved)
@@ -525,4 +580,168 @@ func TestClusterConfigValidation(t *testing.T) {
 			Apply:    func(units.Rate, bool) error { return nil }}}); err == nil {
 		t.Fatal("shared aggregate without a positive rate accepted")
 	}
+}
+
+// TestClusterPeerRestartResync: a restarted peer (sequence numbers back to
+// zero under a fresh boot epoch) is re-accepted by the cluster within a
+// round trip. Without the epoch in the wire protocol its post-restart
+// reports would all fail the seq-monotonic stale check until the new seq
+// re-exceeded the pre-restart value — pinning every node at its r/N floor
+// for roughly the peer's previous uptime.
+func TestClusterPeerRestartResync(t *testing.T) {
+	sim := newClusterSim(t, 3, nil)
+	floor := simRate / 3
+	sim.nodes["node-0"].demand = 80e6
+	for i := 0; i < 30; i++ { // node-1's seq climbs to ~30
+		sim.step()
+		sim.assertInvariant()
+	}
+	if sim.nodes["node-0"].applied <= floor {
+		t.Fatal("setup: grants never flowed")
+	}
+
+	// node-1 crashes; its grants age out on the freshness horizon and the
+	// cluster degrades to floors.
+	sim.stop("node-1")
+	for i := 0; i < 3; i++ {
+		sim.step()
+		sim.assertInvariant()
+	}
+	if !sim.nodes["node-0"].fallback {
+		t.Fatal("setup: cluster not degraded while node-1 is down")
+	}
+
+	// node-1 comes back: epoch 2, seq restarting at 1.
+	sim.restart("node-1")
+	for i := 0; i < 4; i++ {
+		sim.step()
+		sim.assertInvariant()
+	}
+	st := sim.nodes["node-0"].node.Status()
+	for _, p := range st.Peers {
+		if p.ID != "node-1" {
+			continue
+		}
+		if p.State != PeerAlive {
+			t.Fatalf("restarted peer is %v on node-0, want alive", p.State)
+		}
+		if p.Epoch != 2 {
+			t.Fatalf("node-0 tracks node-1 epoch %d, want 2", p.Epoch)
+		}
+		if p.LastSeq >= 30 {
+			t.Fatalf("node-0 still holds pre-restart seq %d for node-1", p.LastSeq)
+		}
+	}
+	for _, id := range sim.ids {
+		if sim.nodes[id].fallback {
+			t.Fatalf("%s still in fallback 4 windows after node-1 restarted", id)
+		}
+	}
+	// And the grant flow re-establishes, not just liveness.
+	for i := 0; i < 20; i++ {
+		sim.step()
+		sim.assertInvariant()
+	}
+	if sim.nodes["node-0"].applied <= floor {
+		t.Fatal("grants never resumed after peer restart")
+	}
+}
+
+// TestClusterOmittedAggregateRevokesGrant: a fresh report that no longer
+// carries an aggregate revokes any standing grant for it. Otherwise config
+// skew (a peer restarted with a different shared set) leaves the grantee
+// honoring a grant the grantor no longer holds back — over-admission the
+// per-peer freshness check cannot see.
+func TestClusterOmittedAggregateRevokesGrant(t *testing.T) {
+	var now time.Duration
+	var mu sync.Mutex
+	var applied units.Rate
+	a, err := New(Config{
+		Self: "a", Peers: []string{"b"}, Window: simWindow,
+		Transport: transportFunc(func(string, []byte) error { return nil }),
+		Clock:     func() time.Duration { return now },
+		Epoch:     7,
+	}, []SharedAggregate{{
+		ID: simAgg, Rate: simRate,
+		Observed: func() (int64, bool) { return 0, true },
+		Apply: func(s units.Rate, fb bool) error {
+			mu.Lock()
+			applied = s
+			mu.Unlock()
+			return nil
+		},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	floor := simRate / 2
+	got := func() units.Rate {
+		mu.Lock()
+		defer mu.Unlock()
+		return applied
+	}
+	deliver := func(seq uint64, aggs []AggReport) {
+		echo := []Echo{{Peer: "a", Epoch: 7, Seq: a.Status().Seq}}
+		if err := a.Deliver(EncodeReport("b", 5, seq, echo, aggs)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	a.Tick(now) // seq 1
+	deliver(1, []AggReport{{ID: simAgg, Grants: []Grant{{To: "a", Bps: 10e6}}}})
+	now += simWindow
+	a.Tick(now)
+	if want := floor + 10e6; got() != want {
+		t.Fatalf("granted share %.0f, want %.0f", float64(got()), float64(want))
+	}
+
+	// b's next report is fresh and echo-valid but omits the aggregate.
+	deliver(2, nil)
+	now += simWindow
+	a.Tick(now)
+	if got() > floor {
+		t.Fatalf("share %.0f still honors the revoked grant (floor %.0f)", float64(got()), float64(floor))
+	}
+}
+
+// TestClusterRunAppliesInitialShare: Run's first tick is synchronous, so a
+// library user gets the conservative floor applied before Run returns — not
+// after one full window during which the engine would keep enforcing the
+// full configured rate (transient N·r over-admission).
+func TestClusterRunAppliesInitialShare(t *testing.T) {
+	var mu sync.Mutex
+	var applied units.Rate
+	var fallback bool
+	calls := 0
+	n, err := New(Config{
+		Self: "a", Peers: []string{"b"},
+		Transport: transportFunc(func(string, []byte) error { return nil }),
+		Clock:     func() time.Duration { return 0 },
+	}, []SharedAggregate{{
+		ID: simAgg, Rate: simRate,
+		Observed: func() (int64, bool) { return 0, true },
+		Apply: func(s units.Rate, fb bool) error {
+			mu.Lock()
+			applied, fallback, calls = s, fb, calls+1
+			mu.Unlock()
+			return nil
+		},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Run()
+	mu.Lock()
+	if calls == 0 {
+		t.Fatal("Run returned without applying an initial share")
+	}
+	if applied != simRate/2 {
+		t.Fatalf("initial share %.0f, want the floor %.0f", float64(applied), float64(simRate/2))
+	}
+	if !fallback {
+		t.Fatal("initial share not marked fallback with unheard peers")
+	}
+	mu.Unlock()
+	n.Close()
 }

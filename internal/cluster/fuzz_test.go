@@ -15,16 +15,16 @@ import (
 func FuzzDecodeFrame(f *testing.F) {
 	// Seed with well-formed frames of both types so mutation starts deep
 	// inside the format rather than dying at the magic check.
-	f.Add(EncodeReport("node-a", 1, nil, nil))
-	f.Add(EncodeReport("node-a", 42,
-		[]Echo{{Peer: "node-b", Seq: 41}, {Peer: "node-c", Seq: 40}},
+	f.Add(EncodeReport("node-a", 1, 1, nil, nil))
+	f.Add(EncodeReport("node-a", 1700, 42,
+		[]Echo{{Peer: "node-b", Epoch: 9, Seq: 41}, {Peer: "node-c", Epoch: 8, Seq: 40}},
 		[]AggReport{
 			{ID: "tenant-1", Observed: 80e6, Applied: 90e6,
 				Grants: []Grant{{To: "node-b", Bps: 5e6}}},
 			{ID: "tenant-2", Observed: 1, Applied: 2},
 		}))
-	f.Add(EncodeHandoff("node-b", 7, "tenant-1", []byte("BQSN-stateblob")))
-	f.Add(EncodeHandoff("n", 0, "a", nil))
+	f.Add(EncodeHandoff("node-b", 1700, 7, "tenant-1", []byte("BQSN-stateblob")))
+	f.Add(EncodeHandoff("n", 0, 0, "a", nil))
 	f.Add([]byte(frameMagic))
 	f.Add([]byte{})
 
@@ -57,9 +57,9 @@ func FuzzDecodeFrame(f *testing.F) {
 		var re []byte
 		switch fr.Type {
 		case typeReport:
-			re = EncodeReport(fr.Sender, fr.Seq, fr.Echoes, fr.Aggs)
+			re = EncodeReport(fr.Sender, fr.Epoch, fr.Seq, fr.Echoes, fr.Aggs)
 		case typeHandoff:
-			re = EncodeHandoff(fr.Sender, fr.Seq, fr.AggID, fr.State)
+			re = EncodeHandoff(fr.Sender, fr.Epoch, fr.Seq, fr.AggID, fr.State)
 		default:
 			t.Fatalf("accepted unknown type %d", fr.Type)
 		}
@@ -74,7 +74,7 @@ func FuzzDecodeFrame(f *testing.F) {
 }
 
 func framesEqual(a, b *Frame) bool {
-	if a.Type != b.Type || a.Sender != b.Sender || a.Seq != b.Seq ||
+	if a.Type != b.Type || a.Sender != b.Sender || a.Epoch != b.Epoch || a.Seq != b.Seq ||
 		a.AggID != b.AggID || string(a.State) != string(b.State) ||
 		len(a.Echoes) != len(b.Echoes) || len(a.Aggs) != len(b.Aggs) {
 		return false

@@ -43,6 +43,7 @@ type peerAgg struct {
 	observed  units.Rate
 	applied   units.Rate
 	grantToMe units.Rate
+	stamp     int64 // peer.reports value of the report that last carried it
 }
 
 // peer is the node's view of one cluster peer. Guarded by Node.mu.
@@ -53,8 +54,9 @@ type peer struct {
 	state     PeerState
 	everHeard bool
 	lastHeard time.Duration // virtual receive time of the newest valid report
-	lastSeq   uint64        // newest report sequence accepted (duplicates/stale rejected)
-	echoOfMe  uint64        // my seq echoed by that report
+	epoch     uint64        // boot incarnation of the newest accepted report
+	lastSeq   uint64        // newest report sequence accepted within that epoch
+	echoOfMe  uint64        // my seq (this boot) echoed by that report
 	aggs      map[string]*peerAgg
 
 	// Wire hygiene counters (exported via Status/metrics).

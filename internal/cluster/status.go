@@ -16,9 +16,10 @@ type PeerStatus struct {
 	ID              string
 	State           PeerState
 	LastExchangeAge time.Duration // -1 until the first valid report
+	Epoch           uint64        // boot incarnation of the newest report
 	LastSeq         uint64
 	Reports         int64 // valid reports accepted
-	Stale           int64 // duplicates / reordered-behind dropped
+	Stale           int64 // duplicates / old-incarnation / reordered-behind dropped
 }
 
 // AggStatus is one shared aggregate's exchange state on this node.
@@ -36,6 +37,7 @@ type AggStatus struct {
 // Status is a point-in-time view of the node for operators.
 type Status struct {
 	Self      string
+	Epoch     uint64
 	Seq       uint64
 	Window    time.Duration
 	Peers     []PeerStatus
@@ -52,6 +54,7 @@ func (n *Node) Status() Status {
 	defer n.mu.Unlock()
 	st := Status{
 		Self:      n.cfg.Self,
+		Epoch:     n.epoch,
 		Seq:       n.seq,
 		Window:    n.cfg.Window,
 		BadFrames: n.badFrames,
@@ -64,7 +67,7 @@ func (n *Node) Status() Status {
 		}
 		st.Peers = append(st.Peers, PeerStatus{
 			ID: p.id, State: p.state, LastExchangeAge: age,
-			LastSeq: p.lastSeq, Reports: p.reports, Stale: p.stale,
+			Epoch: p.epoch, LastSeq: p.lastSeq, Reports: p.reports, Stale: p.stale,
 		})
 	}
 	for _, id := range n.sharedIDs {

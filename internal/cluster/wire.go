@@ -32,7 +32,7 @@ import (
 // magic so on-disk and on-wire artifacts are recognizably related.
 const (
 	frameMagic   = "BQXC"
-	wireVersion  = 1
+	wireVersion  = 2 // v2 added the boot epoch (header + echoes); v1 rejects
 	typeReport   = 1
 	typeHandoff  = 2
 	maxIDLen     = 128 // node and aggregate IDs
@@ -50,10 +50,13 @@ var ErrBadFrame = errors.New("cluster: bad frame")
 // Echoes make freshness symmetric: I honor your grant only while your
 // report proves you have recently heard ME, which defeats one-way
 // partitions and arbitrarily delayed replays (a stale echo ages out even
-// though the frame itself is intact).
+// though the frame itself is intact). Epoch pins the acknowledgement to
+// one incarnation of the peer: sequence numbers restart at zero on reboot,
+// so an echo of a pre-restart seq must not look current to the new boot.
 type Echo struct {
-	Peer string
-	Seq  uint64
+	Peer  string
+	Epoch uint64
+	Seq   uint64
 }
 
 // Grant cedes part of the sender's budget for one aggregate to one peer.
@@ -75,10 +78,13 @@ type AggReport struct {
 	Grants   []Grant
 }
 
-// Frame is one decoded budget-exchange message.
+// Frame is one decoded budget-exchange message. Epoch identifies the
+// sender's boot: a restart resets Seq to zero under a fresh (higher)
+// epoch, so receivers can distinguish a rebooted peer from a replay.
 type Frame struct {
 	Type   uint8 // typeReport or typeHandoff
 	Sender string
+	Epoch  uint64
 	Seq    uint64
 
 	// Report fields.
@@ -94,12 +100,13 @@ type Frame struct {
 // EncodeReport builds a report frame. Callers keep Echoes/Aggs within the
 // wire caps; oversized inputs are truncated rather than generating an
 // undecodable frame.
-func EncodeReport(sender string, seq uint64, echoes []Echo, aggs []AggReport) []byte {
+func EncodeReport(sender string, epoch, seq uint64, echoes []Echo, aggs []AggReport) []byte {
 	var e enforcer.Enc
 	e.Bytes([]byte(frameMagic))
 	e.U8(wireVersion)
 	e.U8(typeReport)
 	e.Bytes([]byte(clampID(sender)))
+	e.U64(epoch)
 	e.U64(seq)
 	if len(echoes) > maxEchoes {
 		echoes = echoes[:maxEchoes]
@@ -107,6 +114,7 @@ func EncodeReport(sender string, seq uint64, echoes []Echo, aggs []AggReport) []
 	e.U8(uint8(len(echoes)))
 	for _, ec := range echoes {
 		e.Bytes([]byte(clampID(ec.Peer)))
+		e.U64(ec.Epoch)
 		e.U64(ec.Seq)
 	}
 	if len(aggs) > maxAggs {
@@ -132,12 +140,13 @@ func EncodeReport(sender string, seq uint64, echoes []Echo, aggs []AggReport) []
 
 // EncodeHandoff builds a handoff frame carrying one aggregate's snapshot
 // blob to its new owner after a ring change.
-func EncodeHandoff(sender string, seq uint64, aggID string, state []byte) []byte {
+func EncodeHandoff(sender string, epoch, seq uint64, aggID string, state []byte) []byte {
 	var e enforcer.Enc
 	e.Bytes([]byte(frameMagic))
 	e.U8(wireVersion)
 	e.U8(typeHandoff)
 	e.Bytes([]byte(clampID(sender)))
+	e.U64(epoch)
 	e.U64(seq)
 	e.Bytes([]byte(clampID(aggID)))
 	e.Bytes(state)
@@ -160,6 +169,7 @@ func DecodeFrame(data []byte) (*Frame, error) {
 	if f.Sender, err = decodeID(d, "sender"); err != nil {
 		return nil, err
 	}
+	f.Epoch = d.U64()
 	f.Seq = d.U64()
 	switch f.Type {
 	case typeReport:
@@ -194,7 +204,7 @@ func decodeReport(d *enforcer.Dec, f *Frame) error {
 		if err != nil {
 			return err
 		}
-		f.Echoes = append(f.Echoes, Echo{Peer: peer, Seq: d.U64()})
+		f.Echoes = append(f.Echoes, Echo{Peer: peer, Epoch: d.U64(), Seq: d.U64()})
 	}
 	nAggs := int(d.U8())
 	if nAggs > 0 {

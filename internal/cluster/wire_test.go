@@ -10,14 +10,14 @@ import (
 )
 
 func sampleReport() ([]byte, string, uint64) {
-	echoes := []Echo{{Peer: "node-b", Seq: 41}, {Peer: "node-c", Seq: 39}}
+	echoes := []Echo{{Peer: "node-b", Epoch: 1700, Seq: 41}, {Peer: "node-c", Epoch: 1701, Seq: 39}}
 	aggs := []AggReport{
 		{ID: "tenant-1", Observed: 80e6, Applied: 90e6, Grants: []Grant{
 			{To: "node-b", Bps: 5e6}, {To: "node-c", Bps: 2.5e6},
 		}},
 		{ID: "tenant-2", Observed: 0, Applied: 33.3e6},
 	}
-	return EncodeReport("node-a", 42, echoes, aggs), "node-a", 42
+	return EncodeReport("node-a", 1699, 42, echoes, aggs), "node-a", 42
 }
 
 // TestWireReportRoundtrip: encode → decode is lossless.
@@ -27,10 +27,10 @@ func TestWireReportRoundtrip(t *testing.T) {
 	if err != nil {
 		t.Fatalf("decode: %v", err)
 	}
-	if f.Sender != sender || f.Seq != seq || f.Type != typeReport {
+	if f.Sender != sender || f.Epoch != 1699 || f.Seq != seq || f.Type != typeReport {
 		t.Fatalf("header mismatch: %+v", f)
 	}
-	if len(f.Echoes) != 2 || f.Echoes[0] != (Echo{Peer: "node-b", Seq: 41}) {
+	if len(f.Echoes) != 2 || f.Echoes[0] != (Echo{Peer: "node-b", Epoch: 1700, Seq: 41}) {
 		t.Fatalf("echoes: %+v", f.Echoes)
 	}
 	if len(f.Aggs) != 2 {
@@ -50,12 +50,12 @@ func TestWireReportRoundtrip(t *testing.T) {
 // copied (not aliasing the input).
 func TestWireHandoffRoundtrip(t *testing.T) {
 	state := []byte("BQSN-pretend-snapshot-blob")
-	frame := EncodeHandoff("node-a", 7, "tenant-9", state)
+	frame := EncodeHandoff("node-a", 1699, 7, "tenant-9", state)
 	f, err := DecodeFrame(frame)
 	if err != nil {
 		t.Fatalf("decode: %v", err)
 	}
-	if f.Type != typeHandoff || f.Sender != "node-a" || f.Seq != 7 || f.AggID != "tenant-9" {
+	if f.Type != typeHandoff || f.Sender != "node-a" || f.Epoch != 1699 || f.Seq != 7 || f.AggID != "tenant-9" {
 		t.Fatalf("header: %+v", f)
 	}
 	if string(f.State) != string(state) {
@@ -98,7 +98,8 @@ func TestWireRejections(t *testing.T) {
 			e.U8(wireVersion)
 			e.U8(typeReport)
 			e.Bytes([]byte(strings.Repeat("x", maxIDLen+1)))
-			e.U64(1)
+			e.U64(1) // epoch
+			e.U64(1) // seq
 			e.U8(0)
 			e.U8(0)
 			return e.Out()
@@ -123,15 +124,15 @@ func TestWireRejections(t *testing.T) {
 // TestWireRejectsNegativeAndNaNRates: decodable frames with semantically
 // poisonous values (negative shares, NaN) must also reject.
 func TestWireRejectsNegativeAndNaNRates(t *testing.T) {
-	neg := EncodeReport("a", 1, nil, []AggReport{{ID: "t", Observed: -5, Applied: 1}})
+	neg := EncodeReport("a", 1, 1, nil, []AggReport{{ID: "t", Observed: -5, Applied: 1}})
 	if _, err := DecodeFrame(neg); !errors.Is(err, ErrBadFrame) {
 		t.Fatalf("negative observed accepted: %v", err)
 	}
-	negGrant := EncodeReport("a", 1, nil, []AggReport{{ID: "t", Grants: []Grant{{To: "b", Bps: -1}}}})
+	negGrant := EncodeReport("a", 1, 1, nil, []AggReport{{ID: "t", Grants: []Grant{{To: "b", Bps: -1}}}})
 	if _, err := DecodeFrame(negGrant); !errors.Is(err, ErrBadFrame) {
 		t.Fatalf("negative grant accepted: %v", err)
 	}
-	nan := EncodeReport("a", 1, nil, []AggReport{{ID: "t", Observed: units.Rate(nanRate())}})
+	nan := EncodeReport("a", 1, 1, nil, []AggReport{{ID: "t", Observed: units.Rate(nanRate())}})
 	if _, err := DecodeFrame(nan); err == nil {
 		t.Fatal("NaN rate accepted")
 	}
@@ -144,7 +145,7 @@ func nanRate() float64 {
 
 // TestWireEmptySenderRejected: an ID-free frame cannot attribute state.
 func TestWireEmptySenderRejected(t *testing.T) {
-	if _, err := DecodeFrame(EncodeReport("", 1, nil, nil)); !errors.Is(err, ErrBadFrame) {
+	if _, err := DecodeFrame(EncodeReport("", 1, 1, nil, nil)); !errors.Is(err, ErrBadFrame) {
 		t.Fatalf("empty sender accepted: %v", err)
 	}
 }
