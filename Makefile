@@ -37,11 +37,13 @@ govulncheck:
 
 # Chaos gate: the seeded fault-injection suite (panic isolation,
 # quarantine, watchdog, deadline-bounded Close, and the cluster
-# budget-exchange invariant under injected network faults) repeated under
-# the race detector. Seeded draws make every repetition identical, so
-# -count=3 checks the engine, not the dice.
+# budget-exchange invariant under injected network faults) plus the
+# adversarial-overload suite (UDP floods, flash crowds, mixed-RTT swarms,
+# short-flow storms against the load-shed plane) repeated under the race
+# detector. Seeded draws make every repetition identical, so -count=3
+# checks the engine, not the dice.
 chaos:
-	$(GO) test -race -count=3 -run 'Chaos|Fault|Control|Overloaded' ./internal/mbox/ ./internal/faultinject/ ./internal/cluster/
+	$(GO) test -race -count=3 -run 'Chaos|Fault|Control|Overload|Storm|Flood|Flash' ./internal/mbox/ ./internal/faultinject/ ./internal/cluster/ ./internal/workload/
 
 # Ten-second smoke run of every fuzz target (seed corpus + a short burst of
 # generated inputs); full fuzzing sessions run the targets individually.

@@ -93,7 +93,11 @@ func newAdminMux(mb *bcpqp.Middlebox, node *bcpqp.ClusterNode) *http.ServeMux {
 		// enforcing its conservative static r/N share, which is safe and
 		// serving traffic — a 503 here would make load balancers evict
 		// exactly the nodes that are behaving correctly under partition.
-		degraded := node != nil && node.Degraded()
+		// The same logic applies to an active overload plane: a shedding
+		// engine is doing its job (surviving an attack by dropping the
+		// lowest-priority traffic), and evicting it would hand the flood
+		// to a healthier-looking peer and take that one down too.
+		degraded := (node != nil && node.Degraded()) || h.Overload.Active
 		if h.Wedged() {
 			w.WriteHeader(http.StatusServiceUnavailable)
 		}
@@ -107,19 +111,42 @@ func newAdminMux(mb *bcpqp.Middlebox, node *bcpqp.ClusterNode) *http.ServeMux {
 			Panics       int64  `json:"panics"`
 			Shed         int64  `json:"shed_packets"`
 		}
+		type overloadz struct {
+			Active             bool    `json:"active"`
+			Pressure           float64 `json:"pressure"`
+			RingPressure       float64 `json:"ring_pressure"`
+			TableFill          float64 `json:"table_fill"`
+			ShedRatePPS        float64 `json:"shed_rate_pps"`
+			PriorityShed       int64   `json:"priority_shed_packets"`
+			AdmissionEvictions int64   `json:"admission_evictions"`
+			Transitions        int64   `json:"transitions"`
+		}
 		body := struct {
-			Healthy     bool     `json:"healthy"`
-			Degraded    bool     `json:"degraded"`
-			Shards      []shardz `json:"shards"`
-			Quarantined []string `json:"quarantined,omitempty"`
-			Panics      int64    `json:"panics"`
-			Overloaded  int64    `json:"overloaded_packets"`
+			Healthy     bool       `json:"healthy"`
+			Degraded    bool       `json:"degraded"`
+			Shards      []shardz   `json:"shards"`
+			Quarantined []string   `json:"quarantined,omitempty"`
+			Panics      int64      `json:"panics"`
+			Overloaded  int64      `json:"overloaded_packets"`
+			Overload    *overloadz `json:"overload,omitempty"`
 		}{
 			Healthy:     !h.Wedged(),
 			Degraded:    degraded,
 			Panics:      h.Panics,
 			Overloaded:  h.Overloaded,
 			Quarantined: h.Quarantined,
+		}
+		if h.Overload.Enabled {
+			body.Overload = &overloadz{
+				Active:             h.Overload.Active,
+				Pressure:           h.Overload.Pressure,
+				RingPressure:       h.Overload.Ring,
+				TableFill:          h.Overload.TableFill,
+				ShedRatePPS:        h.Overload.ShedRate,
+				PriorityShed:       h.Overload.PriorityShed,
+				AdmissionEvictions: h.Overload.AdmissionEvictions,
+				Transitions:        h.Overload.Transitions,
+			}
 		}
 		for _, s := range h.Shards {
 			body.Shards = append(body.Shards, shardz{

@@ -5,6 +5,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/httptest"
 	"os"
 	"strings"
 	"syscall"
@@ -207,6 +208,79 @@ func TestAdminEndpointsEndToEnd(t *testing.T) {
 		}
 	case <-time.After(10 * time.Second):
 		t.Fatal("proxy did not exit within 10s of SIGTERM")
+	}
+}
+
+// TestHealthzOverloadDegradedBut200 pins the load-balancer contract during
+// an overload: an engine whose overload plane is ACTIVE (shedding the
+// lowest-priority traffic to survive a flood) reports degraded=true on
+// /healthz but keeps answering 200 — evicting a shedding node would hand
+// the flood to a healthier-looking peer and take that one down too. Only a
+// wedged shard (watchdog: has work, no progress) turns /healthz 503.
+func TestHealthzOverloadDegradedBut200(t *testing.T) {
+	gate := make(chan struct{})
+	mb := bcpqp.NewMiddlebox(bcpqp.MiddleboxConfig{
+		Shards:           1,
+		QueueDepth:       8,
+		FlushBurst:       1,
+		WatchdogInterval: time.Millisecond,
+		CloseTimeout:     5 * time.Second,
+		Overload:         bcpqp.OverloadConfig{Enabled: true},
+	})
+	defer mb.Close()
+	defer close(gate) // LIFO: unblock the emit BEFORE Close so the drain is fast
+	enf, err := buildEnforcer("bc-pqp", bcpqp.Rate(1000)*bcpqp.Mbps, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := mb.Add("plug", enf, func(p bcpqp.Packet) { <-gate })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pack the shard ring behind the blocked emit until pressure trips the
+	// plane.
+	pkt := [1]bcpqp.Packet{{Key: bcpqp.FlowKey{SrcIP: 1, Proto: 17}, Size: bcpqp.MSS}}
+	for i := 0; i < 16; i++ {
+		mb.SubmitBatch(h, pkt[:])
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for !mb.Health().Overload.Active {
+		if time.Now().After(deadline) {
+			t.Fatal("overload plane never activated")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	srv := httptest.NewServer(newAdminMux(mb, nil))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz during overload = %d, want 200 (degraded, not down)", resp.StatusCode)
+	}
+	var body struct {
+		Healthy  bool `json:"healthy"`
+		Degraded bool `json:"degraded"`
+		Overload *struct {
+			Active       bool    `json:"active"`
+			Pressure     float64 `json:"pressure"`
+			PriorityShed int64   `json:"priority_shed_packets"`
+		} `json:"overload"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if !body.Degraded {
+		t.Error("degraded=false while the overload plane is active, want true")
+	}
+	if body.Overload == nil || !body.Overload.Active {
+		t.Errorf("overload block missing or inactive in /healthz body: %+v", body.Overload)
+	}
+	if body.Overload != nil && body.Overload.Pressure <= 0 {
+		t.Errorf("overload pressure %v, want > 0 under a packed ring", body.Overload.Pressure)
 	}
 }
 

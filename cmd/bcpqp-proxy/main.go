@@ -59,6 +59,7 @@ func main() {
 		clListen = flag.String("cluster-listen", "", "UDP address the budget exchange listens on (e.g. :7400)")
 		clKey    = flag.String("cluster-key", "", "shared secret authenticating budget-exchange frames (HMAC-SHA256); all peers must agree. Empty sends frames unauthenticated — only safe on a trusted network")
 		sharedFl = flag.Bool("shared", false, "enforce -rate as the CLUSTER-WIDE bound for the proxy aggregate: start at the static r/N share and let the budget exchange reclaim idle peers' headroom")
+		overload = flag.Bool("overload", false, "enable the overload-control plane: pressure-driven priority shedding, tightened idle eviction and admission-eviction under table pressure; /healthz reports an active plane as degraded (still 200)")
 		drain    = flag.Duration("drain-timeout", 5*time.Second, "graceful-shutdown drain deadline on SIGTERM/SIGINT")
 		selftest = flag.Bool("selftest", false, "run the loopback demonstration and exit")
 		duration = flag.Duration("selftest-duration", 5*time.Second, "selftest run length")
@@ -132,6 +133,7 @@ func main() {
 		sig:          sigc,
 		admin:        admin,
 		cluster:      clOpts,
+		overload:     *overload,
 	}))
 }
 
@@ -155,6 +157,9 @@ type proxyOpts struct {
 	// cluster, when enabled, joins the peer budget exchange (and, with
 	// shared set, enforces the proxy aggregate's rate cluster-wide).
 	cluster clusterOpts
+	// overload enables the engine's overload-control plane (defaults:
+	// pressure thresholds, harmonic shed classes, admission eviction).
+	overload bool
 }
 
 // serve runs the engine-hosted datapath until SIGTERM/SIGINT, then drains
@@ -202,6 +207,9 @@ func serve(in net.PacketConn, forward string, enf bcpqp.Enforcer, opts proxyOpts
 					id, "idle-ttl", n, final.AcceptedPackets, final.DroppedPackets)
 			}
 		},
+	}
+	if opts.overload {
+		cfg.Overload = bcpqp.OverloadConfig{Enabled: true, EvictOnFull: true}
 	}
 	// The admin listener switches the trace collector on: flight-recorder
 	// rings, burst-latency histograms and per-aggregate meters feed

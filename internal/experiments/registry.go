@@ -32,9 +32,10 @@ var registry = map[string]Runner{
 	"8":   Fig8,
 	"9":   Fig9,
 	// Extensions beyond the paper's figures.
-	"ext-aqm": ExtAQM,
-	"ext-ecn": ExtECN,
-	"ext-mem": ExtMem,
+	"ext-aqm":      ExtAQM,
+	"ext-ecn":      ExtECN,
+	"ext-mem":      ExtMem,
+	"ext-overload": ExtOverload,
 }
 
 // Lookup resolves a figure ID (with or without a "fig" prefix).
@@ -53,7 +54,7 @@ func Lookup(id string) (Runner, error) {
 // IDs lists the canonical set of figure IDs, deduplicated and sorted.
 func IDs() []string {
 	canonical := []string{"1a", "1b", "2", "3", "4", "5", "6a", "6bc", "6d",
-		"7a", "7b", "8", "9", "ext-aqm", "ext-ecn", "ext-mem"}
+		"7a", "7b", "8", "9", "ext-aqm", "ext-ecn", "ext-mem", "ext-overload"}
 	sort.Strings(canonical)
 	return canonical
 }
@@ -61,7 +62,7 @@ func IDs() []string {
 // All runs every experiment at the given scale, in figure order.
 func All(scale Scale, seed uint64) ([]*Report, error) {
 	order := []string{"1a", "1b", "2", "3", "4", "5", "6a", "6bc", "6d",
-		"7a", "7b", "8", "9", "ext-aqm", "ext-ecn", "ext-mem"}
+		"7a", "7b", "8", "9", "ext-aqm", "ext-ecn", "ext-mem", "ext-overload"}
 	var out []*Report
 	for _, id := range order {
 		r, err := registry[id](scale, seed)

@@ -265,6 +265,13 @@ type Config struct {
 	// reconfiguration) are always recorded. Read it back through
 	// Engine.TraceDump and Engine.Metrics.
 	Observer *obs.Collector
+
+	// Overload configures the overload-control plane: pressure tracking,
+	// the priority-aware (harmonic) shed policy, pressure-tightened
+	// idle-TTL, and Add-path admission eviction. Disabled by default —
+	// the zero value leaves the engine's behaviour exactly as before.
+	// See OverloadConfig.
+	Overload OverloadConfig
 }
 
 // Engine hosts many enforcers behind a concurrent burst-submit API.
@@ -292,6 +299,13 @@ type Engine struct {
 	ControlFailovers atomic.Int64
 	// Evicted counts aggregates removed by the idle-TTL sweeper.
 	Evicted atomic.Int64
+	// OverloadShed counts packets shed proactively by the overload
+	// plane's priority policy — before they reached a ring, as opposed to
+	// Overloaded's ring-full sheds.
+	OverloadShed atomic.Int64
+	// AdmissionEvictions counts aggregates evicted on the Add path to
+	// admit new ones against a full table (also counted in Evicted).
+	AdmissionEvictions atomic.Int64
 
 	// table is the copy-on-write registry snapshot the datapath reads
 	// lock-free. Writers (Add/Remove/Close) serialize on mu and publish
@@ -309,6 +323,11 @@ type Engine struct {
 	// obsSample caches Observer.Options().SampleEvery for the shed-event
 	// coalescing in enqueue (0 without an Observer).
 	obsSample int
+
+	// overload is the overload-control plane; nil unless
+	// Config.Overload.Enabled, and a single nil check is the entire
+	// datapath cost when disabled.
+	overload *overloadPlane
 
 	// extraMetrics holds metric-family sources attached by subsystems
 	// layered above the engine (e.g. the cluster budget exchange), guarded
@@ -354,6 +373,12 @@ type aggregate struct {
 	degradedDrops  atomic.Int64
 	degradedPasses atomic.Int64
 	mode           atomic.Int32 // DegradeMode
+
+	// shedClass is the overload plane's priority class (0 = shed last,
+	// never proactively); shed counts this aggregate's proactively shed
+	// packets. Both are dead weight unless Config.Overload.Enabled.
+	shedClass atomic.Int32
+	shed      atomic.Int64
 
 	// lastActive is the idle-TTL activity stamp (wall nanos): set at Add,
 	// once per processed burst on the shard goroutine (reusing the wall
@@ -474,10 +499,16 @@ func New(cfg Config) *Engine {
 			cfg.SweepInterval = time.Second
 		}
 	}
+	if cfg.Overload.Enabled {
+		cfg.Overload = cfg.Overload.withDefaults(cfg.IdleTTL)
+	}
 	e := &Engine{
 		cfg:       cfg,
 		flushStop: make(chan struct{}),
 		dead:      make(chan struct{}),
+	}
+	if cfg.Overload.Enabled {
+		e.overload = newOverloadPlane(cfg.Overload, cfg.QueueDepth)
 	}
 	if cfg.Observer != nil {
 		e.obsSample = cfg.Observer.Options().SampleEvery
@@ -895,12 +926,26 @@ func (e *Engine) shardFor(id string) *shard {
 // Slots freed by Remove or eviction are recycled (the table never grows
 // past its high-water mark, itself capped by Config.MaxAggregates), with a
 // fresh generation tag so handles to the slot's previous occupant fail with
-// ErrStale. When the table is at MaxAggregates, Add reports ErrTableFull.
+// ErrStale. When the table is at MaxAggregates, Add reports ErrTableFull —
+// unless the overload plane's EvictOnFull admission policy finds an
+// aggregate idle past AdmissionTTL, in which case that victim is evicted
+// (barrier-free, zero Stats through OnEvict) and the Add proceeds. Either
+// way an Add storm against a full table stays O(table scan) per call and
+// never serializes on the shards' control lanes.
 func (e *Engine) Add(id string, enf enforcer.Enforcer, emit Emit) (Handle, error) {
 	if enf == nil {
 		return NoHandle, fmt.Errorf("mbox: nil enforcer for %q", id)
 	}
 	e.mu.Lock()
+	// OnEvict for an admission eviction fires after mu is released (LIFO
+	// defers: unlock first, then the callback), so the hook may call back
+	// into the engine.
+	var evictedID string
+	defer func() {
+		if evictedID != "" && e.cfg.OnEvict != nil {
+			e.cfg.OnEvict(evictedID, zeroStats)
+		}
+	}()
 	defer e.mu.Unlock()
 	t := e.table.Load()
 	if t.closed {
@@ -910,8 +955,13 @@ func (e *Engine) Add(id string, enf enforcer.Enforcer, emit Emit) (Handle, error
 		return NoHandle, fmt.Errorf("mbox: aggregate %q already registered", id)
 	}
 	if e.cfg.MaxAggregates > 0 && len(t.byID) >= e.cfg.MaxAggregates {
-		return NoHandle, fmt.Errorf("mbox: aggregate %q: %w (%d registered)",
-			id, ErrTableFull, len(t.byID))
+		victim := e.evictForAdmissionLocked(t, time.Now().UnixNano())
+		if victim == nil {
+			return NoHandle, fmt.Errorf("mbox: aggregate %q: %w (%d registered)",
+				id, ErrTableFull, len(t.byID))
+		}
+		evictedID = victim.id
+		t = e.table.Load()
 	}
 	// Pick a slot: recycle from the free list, else extend the table.
 	var slot int
@@ -937,6 +987,9 @@ func (e *Engine) Add(id string, enf enforcer.Enforcer, emit Emit) (Handle, error
 		agg.tree = tree
 	}
 	agg.mode.Store(int32(e.cfg.DegradeMode))
+	if e.overload != nil {
+		agg.shedClass.Store(int32(e.cfg.Overload.DefaultClass))
+	}
 	agg.lastActive.Store(time.Now().UnixNano())
 	if e.cfg.Observer != nil {
 		agg.obs = e.cfg.Observer.NewAggObs()
@@ -988,6 +1041,12 @@ func (e *Engine) Remove(id string) (enforcer.Stats, error) {
 func (e *Engine) unpublish(id string, cond func(*aggregate) bool) (*aggregate, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	return e.unpublishLocked(id, cond)
+}
+
+// unpublishLocked is unpublish with e.mu already held — the form the Add
+// path's admission eviction needs, since Add itself holds the lock.
+func (e *Engine) unpublishLocked(id string, cond func(*aggregate) bool) (*aggregate, error) {
 	t := e.table.Load()
 	if t.closed {
 		return nil, fmt.Errorf("mbox: engine closed")
@@ -1076,14 +1135,20 @@ func (e *Engine) resolve(h Handle) (*aggregate, error) {
 // Submit hands one packet to the aggregate behind h. It never blocks: the
 // packet joins the owning shard's pending burst (flushed on the size or
 // deadline trigger), and when the shard ring is full the burst is shed and
-// counted in Overloaded. Invalid handles report an error (misrouted
-// traffic should be visible).
+// counted in Overloaded. With the overload plane active, packets whose
+// aggregate's shed class exceeds its ring-occupancy ceiling are shed
+// proactively and counted in OverloadShed. Invalid handles report an error
+// (misrouted traffic should be visible).
 func (e *Engine) Submit(h Handle, pkt packet.Packet) error {
 	agg, err := e.resolve(h)
 	if err != nil {
 		return err
 	}
 	s := agg.shard
+	if p := e.overload; p != nil && p.shedGate(s, agg) {
+		e.shedPriority(s, agg, 1)
+		return nil
+	}
 	s.mu.Lock()
 	b := s.staged
 	if b == nil {
@@ -1106,7 +1171,10 @@ func (e *Engine) Submit(h Handle, pkt packet.Packet) error {
 // are copied into an engine-owned pooled buffer, so the caller may reuse
 // pkts immediately; steady-state burst submission performs no allocation.
 // Any pending coalesced single-packet burst for the shard is flushed first
-// so per-producer FIFO order holds across both APIs.
+// so per-producer FIFO order holds across both APIs. With the overload
+// plane active, bursts whose aggregate's shed class exceeds its
+// ring-occupancy ceiling are shed proactively (counted in OverloadShed)
+// before any buffer is taken.
 func (e *Engine) SubmitBatch(h Handle, pkts []packet.Packet) error {
 	agg, err := e.resolve(h)
 	if err != nil {
@@ -1115,10 +1183,14 @@ func (e *Engine) SubmitBatch(h Handle, pkts []packet.Packet) error {
 	if len(pkts) == 0 {
 		return nil
 	}
+	s := agg.shard
+	if p := e.overload; p != nil && p.shedGate(s, agg) {
+		e.shedPriority(s, agg, len(pkts))
+		return nil
+	}
 	b := e.getBurst()
 	b.agg = agg
 	b.pkts = append(b.pkts, pkts...)
-	s := agg.shard
 	s.mu.Lock()
 	if st := s.staged; st != nil {
 		s.staged = nil
@@ -1318,13 +1390,19 @@ func (e *Engine) sweeper() {
 	}
 }
 
-// sweep performs one eviction scan.
+// sweep performs one eviction scan. The TTL it applies is the
+// pressure-tightened effective TTL: as the table fills past half of
+// MaxAggregates, the overload plane shrinks it toward MinIdleTTL so a flash
+// crowd recycles quiescent aggregates before the table pins at its cap.
+// While the overload plane is active the final-stats barrier is skipped
+// (zero Stats through OnEvict): an engine shedding load must not also
+// serialize its sweeper on saturated shard rings.
 func (e *Engine) sweep() {
 	t := e.table.Load()
 	if t.closed {
 		return
 	}
-	ttl := int64(e.cfg.IdleTTL)
+	ttl := int64(e.effectiveTTL())
 	for _, agg := range t.slots {
 		if agg == nil {
 			continue
@@ -1338,7 +1416,10 @@ func (e *Engine) sweep() {
 		if err != nil {
 			continue // removed/re-added/woke up concurrently, or engine closed
 		}
-		final, _ := e.finalStats(evicted) // zero Stats when unobtainable
+		var final enforcer.Stats
+		if p := e.overload; p == nil || !p.active.Load() {
+			final, _ = e.finalStats(evicted) // zero Stats when unobtainable
+		}
 		e.Evicted.Add(1)
 		e.record(nil, obs.Event{Kind: obs.KindEvict, Agg: int64(evicted.h), Node: -1})
 		if e.cfg.OnEvict != nil {
@@ -1460,6 +1541,10 @@ type Health struct {
 	BadVerdicts      int64
 	Overloaded       int64
 	ControlFailovers int64
+
+	// Overload is the overload plane's state (zero value when the plane
+	// is disabled).
+	Overload OverloadHealth
 }
 
 // Wedged reports whether any shard is currently classified Wedged.
@@ -1485,6 +1570,7 @@ func (e *Engine) Health() Health {
 		BadVerdicts:      e.BadVerdicts.Load(),
 		Overloaded:       e.Overloaded.Load(),
 		ControlFailovers: e.ControlFailovers.Load(),
+		Overload:         e.overloadHealth(),
 	}
 	h.Shards = make([]ShardHealth, len(e.shards))
 	for i, s := range e.shards {
@@ -1524,6 +1610,9 @@ func (e *Engine) watchdog() {
 			now := time.Now().UnixNano()
 			for i, s := range e.shards {
 				s.state.Store(int32(e.classify(s, now, &lastPanics[i], &lastShed[i])))
+			}
+			if e.overload != nil {
+				e.updatePressure(now)
 			}
 		}
 	}

@@ -80,6 +80,10 @@ const (
 	// B = 1 when the share is the conservative fallback (r/N floor under
 	// degraded exchange), 0 when grant-adjusted.
 	KindShareApply
+	// KindOverload is an overload-plane transition: A = 1 on activation
+	// and 0 on deactivation, B = the composite pressure in milli-units,
+	// C = the shed-rate EWMA in packets/sec at the transition.
+	KindOverload
 )
 
 // String names the event kind for dumps and logs.
@@ -117,6 +121,8 @@ func (k Kind) String() string {
 		return "peer-state"
 	case KindShareApply:
 		return "share-apply"
+	case KindOverload:
+		return "overload"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}

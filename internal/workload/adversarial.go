@@ -1,0 +1,492 @@
+// Adversarial workloads: the traffic the paper's operators (ISP and
+// cellular policers) actually deploy against. The §6.1 mixes in this
+// package are all congestion-controlled — they back off when the enforcer
+// drops. Production meets worse: UDP floods that ignore drops entirely,
+// flash crowds that create ten thousand aggregates in a second, swarms of
+// flows with wildly mixed RTTs, and storms of slow-start-dominated short
+// flows that live entirely inside burst control's θ⁺/θ⁻ window.
+//
+// Every generator here is open-loop and deterministic: it emits a fixed
+// schedule of packet bursts in virtual time, derived only from its seed and
+// config, and never reacts to verdicts. That is the point — a flood does
+// not slow down because the policer dropped its packets — and it makes the
+// chaos suite's assertions exact (the offered load is ground truth, so
+// Theorem-1 admission bounds can be checked against it).
+package workload
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"bcpqp/internal/packet"
+	"bcpqp/internal/rng"
+	"bcpqp/internal/units"
+)
+
+// Source emits a deterministic schedule of packet bursts in virtual time.
+// Next fills buf (capping the burst at len(buf)), returns the burst's
+// arrival time and length, and reports ok=false once the schedule is
+// exhausted. Arrival times are non-decreasing across calls. Sources are
+// single-goroutine objects: callers drive one Source per producer.
+type Source interface {
+	Next(buf []packet.Packet) (at time.Duration, n int, ok bool)
+	// Offered returns the packets and bytes emitted so far — the exact
+	// open-loop ground truth assertions compare enforcement against.
+	Offered() (pkts, bytes int64)
+}
+
+// counted implements the Offered bookkeeping shared by every generator.
+type counted struct {
+	pkts, bytes int64
+}
+
+func (c *counted) Offered() (int64, int64) { return c.pkts, c.bytes }
+
+func (c *counted) count(n, size int) {
+	c.pkts += int64(n)
+	c.bytes += int64(n) * int64(size)
+}
+
+// fillBurst writes n flood packets for flow into buf.
+func fillBurst(buf []packet.Packet, n int, key packet.FlowKey, size, class int) {
+	for i := 0; i < n; i++ {
+		buf[i] = packet.Packet{Key: key, Size: size, Class: class}
+	}
+}
+
+// FloodConfig parameterizes a non-congestion-controlled sender.
+type FloodConfig struct {
+	// Rate is the offered rate — set it well above the enforced rate;
+	// the flood never backs off.
+	Rate units.Rate
+	// Duration is the schedule length.
+	Duration time.Duration
+	// PktSize is the packet size in bytes (default units.MSS).
+	PktSize int
+	// Burst is the packets per emitted burst (default 32, the rx_burst
+	// shape the engine ingests).
+	Burst int
+	// Period and Duty make the flood bursty: traffic is sent only during
+	// the first Duty fraction of each Period, at Rate/Duty, so the
+	// average offered rate stays Rate but arrives in hard on/off slabs.
+	// Zero Period (or Duty ≥ 1) is a constant-rate flood.
+	Period time.Duration
+	Duty   float64
+	// Flows is the number of distinct flow keys cycled through
+	// (default 1 — a single-source blast).
+	Flows int
+	// SrcIP namespaces the flood's flow keys.
+	SrcIP uint32
+}
+
+// Flood is a UDP-flood source: constant-rate or bursty, and entirely
+// drop-blind. This is the case policers exist for (§1): traffic that does
+// not respond to congestion signals must be rate-enforced, not persuaded.
+type Flood struct {
+	counted
+	cfg  FloodConfig
+	t    time.Duration
+	flow int
+}
+
+// NewFlood builds a flood schedule. The zero-value niceties: PktSize
+// defaults to MSS, Burst to 32, Flows to 1; Duty is clamped to (0, 1].
+func NewFlood(cfg FloodConfig) *Flood {
+	if cfg.PktSize <= 0 {
+		cfg.PktSize = units.MSS
+	}
+	if cfg.Burst <= 0 {
+		cfg.Burst = 32
+	}
+	if cfg.Flows <= 0 {
+		cfg.Flows = 1
+	}
+	if cfg.Duty <= 0 || cfg.Duty > 1 {
+		cfg.Duty = 1
+	}
+	return &Flood{cfg: cfg}
+}
+
+// Next emits the flood's next burst.
+func (f *Flood) Next(buf []packet.Packet) (time.Duration, int, bool) {
+	cfg := &f.cfg
+	bursty := cfg.Period > 0 && cfg.Duty < 1
+	if bursty {
+		// Skip the off-phase: a bursty flood transmits only inside the
+		// first Duty fraction of each period.
+		on := time.Duration(float64(cfg.Period) * cfg.Duty)
+		if phase := f.t % cfg.Period; phase >= on {
+			f.t += cfg.Period - phase
+		}
+	}
+	if f.t >= cfg.Duration {
+		return 0, 0, false
+	}
+	n := cfg.Burst
+	if n > len(buf) {
+		n = len(buf)
+	}
+	if n == 0 {
+		return 0, 0, false
+	}
+	key := packet.FlowKey{SrcIP: cfg.SrcIP + 1, DstIP: 0xC0A80001,
+		SrcPort: uint16(f.flow%cfg.Flows + 1), DstPort: 9, Proto: 17}
+	fillBurst(buf, n, key, cfg.PktSize, f.flow%16)
+	f.flow++
+	at := f.t
+	peak := cfg.Rate
+	if bursty {
+		peak = units.Rate(float64(cfg.Rate) / cfg.Duty)
+	}
+	f.t += peak.DurationForBytes(int64(n) * int64(cfg.PktSize))
+	f.count(n, cfg.PktSize)
+	return at, n, true
+}
+
+// FlashCrowdConfig parameterizes a flash-crowd arrival schedule.
+type FlashCrowdConfig struct {
+	// Aggregates is the number of new aggregates arriving (the ROADMAP
+	// scenario uses 10 000).
+	Aggregates int
+	// Window is the interval the arrivals land in (the ROADMAP scenario
+	// uses 1 s).
+	Window time.Duration
+	// BurstPkts is the size of each new aggregate's initial burst
+	// (default 4 — a request, not a bulk transfer).
+	BurstPkts int
+	// PktSize is the packet size in bytes (default units.MSS).
+	PktSize int
+	// Prefix namespaces the generated aggregate ids (default "crowd").
+	Prefix string
+}
+
+// Arrival is one flash-crowd aggregate arrival.
+type Arrival struct {
+	// ID is the new aggregate's unique id.
+	ID string
+	// At is the arrival's virtual time within the window.
+	At time.Duration
+	// Index is the arrival's ordinal (0-based), which also seeds its
+	// flow key.
+	Index int
+}
+
+// FlashCrowd is an aggregate-arrival source: Aggregates new aggregates
+// land uniformly inside Window, each with a small initial burst. It
+// exercises the registry lifecycle — MaxAggregates admission, idle-TTL
+// eviction, handle recycling — under pressure, rather than the enforcers
+// themselves.
+type FlashCrowd struct {
+	counted
+	cfg  FlashCrowdConfig
+	at   []time.Duration // sorted arrival offsets
+	next int
+}
+
+// NewFlashCrowd draws the arrival schedule from src (deterministic per
+// seed) and sorts it.
+func NewFlashCrowd(src *rng.Source, cfg FlashCrowdConfig) *FlashCrowd {
+	if cfg.BurstPkts <= 0 {
+		cfg.BurstPkts = 4
+	}
+	if cfg.PktSize <= 0 {
+		cfg.PktSize = units.MSS
+	}
+	if cfg.Prefix == "" {
+		cfg.Prefix = "crowd"
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = time.Second
+	}
+	at := make([]time.Duration, cfg.Aggregates)
+	for i := range at {
+		at[i] = time.Duration(src.Float64() * float64(cfg.Window))
+	}
+	// Insertion-style counting sort is overkill; a simple sort keeps the
+	// schedule monotone without importing sort for a hot path (this is
+	// construction-time only).
+	for i := 1; i < len(at); i++ {
+		for j := i; j > 0 && at[j] < at[j-1]; j-- {
+			at[j], at[j-1] = at[j-1], at[j]
+		}
+	}
+	return &FlashCrowd{cfg: cfg, at: at}
+}
+
+// NextArrival returns the next aggregate arrival, in time order.
+func (c *FlashCrowd) NextArrival() (Arrival, bool) {
+	if c.next >= len(c.at) {
+		return Arrival{}, false
+	}
+	i := c.next
+	c.next++
+	return Arrival{
+		ID:    fmt.Sprintf("%s-%d", c.cfg.Prefix, i),
+		At:    c.at[i],
+		Index: i,
+	}, true
+}
+
+// HelloBurst fills buf with arrival i's initial burst and counts it as
+// offered load.
+func (c *FlashCrowd) HelloBurst(i int, buf []packet.Packet) int {
+	n := c.cfg.BurstPkts
+	if n > len(buf) {
+		n = len(buf)
+	}
+	key := packet.FlowKey{SrcIP: uint32(i + 1), DstIP: 0xC0A80001,
+		SrcPort: uint16(i%65535 + 1), DstPort: 443, Proto: 6}
+	fillBurst(buf, n, key, c.cfg.PktSize, i%16)
+	c.count(n, c.cfg.PktSize)
+	return n
+}
+
+// Remaining reports how many arrivals are left.
+func (c *FlashCrowd) Remaining() int { return len(c.at) - c.next }
+
+// SwarmConfig parameterizes a mixed-RTT swarm.
+type SwarmConfig struct {
+	// Flows is the number of concurrent flows (default 64).
+	Flows int
+	// Duration is the schedule length.
+	Duration time.Duration
+	// MinRTT/MaxRTT bound the per-flow pacing interval, drawn uniformly
+	// (defaults: the paper's 2–50 ms netem range).
+	MinRTT, MaxRTT time.Duration
+	// MinWin/MaxWin bound the per-flow window in packets sent each RTT
+	// (defaults 2 and 32).
+	MinWin, MaxWin int
+	// PktSize is the packet size in bytes (default units.MSS).
+	PktSize int
+	// SrcIP namespaces the swarm's flow keys.
+	SrcIP uint32
+}
+
+// swarmFlow is one member of a swarm or storm: a pacing interval, a
+// per-round burst, and the next scheduled emission.
+type swarmFlow struct {
+	key    packet.FlowKey
+	rtt    time.Duration
+	win    int
+	nextAt time.Duration
+	left   int64 // bytes remaining (storms); <0 means unbounded (swarms)
+	class  int
+}
+
+// Swarm is a mixed-RTT swarm: Flows open-loop senders, each pacing a fixed
+// window of packets once per RTT, with RTTs spread across the full netem
+// range. Short-RTT flows hammer the enforcer with frequent small bursts
+// while long-RTT flows arrive in rarer, larger clumps — the RTT-unfairness
+// regime of §6.1 driven at the burst level.
+type Swarm struct {
+	counted
+	cfg   SwarmConfig
+	flows []swarmFlow
+}
+
+// NewSwarm draws the per-flow RTTs and windows from src.
+func NewSwarm(src *rng.Source, cfg SwarmConfig) *Swarm {
+	if cfg.Flows <= 0 {
+		cfg.Flows = 64
+	}
+	if cfg.MinRTT <= 0 {
+		cfg.MinRTT = 2 * time.Millisecond
+	}
+	if cfg.MaxRTT <= 0 {
+		cfg.MaxRTT = 50 * time.Millisecond
+	}
+	if cfg.MinWin <= 0 {
+		cfg.MinWin = 2
+	}
+	if cfg.MaxWin <= 0 {
+		cfg.MaxWin = 32
+	}
+	if cfg.PktSize <= 0 {
+		cfg.PktSize = units.MSS
+	}
+	s := &Swarm{cfg: cfg}
+	s.flows = make([]swarmFlow, cfg.Flows)
+	for i := range s.flows {
+		r := src.Split(uint64(i))
+		rtt := time.Duration(r.Range(float64(cfg.MinRTT), float64(cfg.MaxRTT)))
+		s.flows[i] = swarmFlow{
+			key: packet.FlowKey{SrcIP: cfg.SrcIP + 1, DstIP: 0xC0A80001,
+				SrcPort: uint16(i + 1), DstPort: 443, Proto: 6},
+			rtt:    rtt,
+			win:    cfg.MinWin + r.IntN(cfg.MaxWin-cfg.MinWin+1),
+			nextAt: time.Duration(r.Float64() * float64(rtt)),
+			left:   -1,
+			class:  i % 16,
+		}
+	}
+	return s
+}
+
+// Next emits the earliest pending flow's round.
+func (s *Swarm) Next(buf []packet.Packet) (time.Duration, int, bool) {
+	i := earliest(s.flows)
+	if i < 0 {
+		return 0, 0, false
+	}
+	f := &s.flows[i]
+	if f.nextAt >= s.cfg.Duration {
+		return 0, 0, false
+	}
+	n := f.win
+	if n > len(buf) {
+		n = len(buf)
+	}
+	if n == 0 {
+		return 0, 0, false
+	}
+	fillBurst(buf, n, f.key, s.cfg.PktSize, f.class)
+	at := f.nextAt
+	f.nextAt += f.rtt
+	s.count(n, s.cfg.PktSize)
+	return at, n, true
+}
+
+// earliest returns the index of the flow with the smallest nextAt that
+// still has data (left != 0); -1 when none do. A linear scan: generator
+// flow counts are hundreds, and this runs once per burst at
+// construction-time rates.
+func earliest(flows []swarmFlow) int {
+	best := -1
+	for i := range flows {
+		f := &flows[i]
+		if f.left == 0 {
+			continue
+		}
+		if best < 0 || f.nextAt < flows[best].nextAt {
+			best = i
+		}
+	}
+	return best
+}
+
+// StormConfig parameterizes a short-flow storm.
+type StormConfig struct {
+	// Concurrency is the number of flow slots; each slot always has an
+	// active short flow (a completed flow is immediately replaced after
+	// its think time). Default 32.
+	Concurrency int
+	// Duration is the schedule length.
+	Duration time.Duration
+	// MinSize/MaxSize bound flow sizes, drawn log-uniformly (defaults
+	// 10 KB and 500 KB — web-object sized, slow-start dominated).
+	MinSize, MaxSize int64
+	// RTT is the slow-start round interval (default 10 ms).
+	RTT time.Duration
+	// InitialWindow is the first round's burst in packets (default 4).
+	InitialWindow int
+	// Think is the idle gap between a flow completing and its slot
+	// starting the next flow (default one RTT).
+	Think time.Duration
+	// PktSize is the packet size in bytes (default units.MSS).
+	PktSize int
+	// SrcIP namespaces the storm's flow keys.
+	SrcIP uint32
+}
+
+// Storm is a short-flow storm: every flow is slow-start dominated — its
+// per-round burst doubles (IW, 2·IW, 4·IW, …) until the flow's bytes run
+// out, then a fresh flow takes the slot. Aggregate traffic is therefore an
+// endless supply of exponentially ramping micro-bursts, the worst case for
+// burst control's θ⁺/θ⁻ admission window (§5.2): enforcement must absorb
+// each ramp's head without either over-admitting or flattening every new
+// flow to zero.
+type Storm struct {
+	counted
+	cfg   StormConfig
+	src   *rng.Source
+	flows []swarmFlow
+	born  []int // flows started per slot, for key uniqueness
+	win   []int // current slow-start window per slot
+}
+
+// NewStorm draws per-slot flow sizes and start jitter from src.
+func NewStorm(src *rng.Source, cfg StormConfig) *Storm {
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = 32
+	}
+	if cfg.MinSize <= 0 {
+		cfg.MinSize = 10 * units.KB
+	}
+	if cfg.MaxSize <= cfg.MinSize {
+		cfg.MaxSize = 500 * units.KB
+	}
+	if cfg.RTT <= 0 {
+		cfg.RTT = 10 * time.Millisecond
+	}
+	if cfg.InitialWindow <= 0 {
+		cfg.InitialWindow = 4
+	}
+	if cfg.Think <= 0 {
+		cfg.Think = cfg.RTT
+	}
+	if cfg.PktSize <= 0 {
+		cfg.PktSize = units.MSS
+	}
+	s := &Storm{cfg: cfg, src: src}
+	s.flows = make([]swarmFlow, cfg.Concurrency)
+	s.born = make([]int, cfg.Concurrency)
+	s.win = make([]int, cfg.Concurrency)
+	for i := range s.flows {
+		r := src.Split(uint64(i))
+		s.flows[i] = swarmFlow{
+			rtt:    cfg.RTT,
+			nextAt: time.Duration(r.Float64() * float64(cfg.RTT)),
+			class:  i % 16,
+		}
+		s.startFlow(i, r)
+	}
+	return s
+}
+
+// startFlow begins a fresh short flow in slot i: new key, new log-uniform
+// size, window reset to IW.
+func (s *Storm) startFlow(i int, r *rng.Source) {
+	s.born[i]++
+	f := &s.flows[i]
+	f.key = packet.FlowKey{SrcIP: s.cfg.SrcIP + 1, DstIP: 0xC0A80001,
+		SrcPort: uint16(i + 1), DstPort: uint16(s.born[i]%65535 + 1), Proto: 6}
+	lo, hi := float64(s.cfg.MinSize), float64(s.cfg.MaxSize)
+	f.left = int64(lo * math.Pow(hi/lo, r.Float64()))
+	s.win[i] = s.cfg.InitialWindow
+}
+
+// Next emits the earliest pending slot's slow-start round.
+func (s *Storm) Next(buf []packet.Packet) (time.Duration, int, bool) {
+	i := earliest(s.flows)
+	if i < 0 {
+		return 0, 0, false
+	}
+	f := &s.flows[i]
+	if f.nextAt >= s.cfg.Duration {
+		return 0, 0, false
+	}
+	n := s.win[i]
+	if left := int(f.left / int64(s.cfg.PktSize)); n > left {
+		n = left
+	}
+	if n < 1 {
+		n = 1
+	}
+	if n > len(buf) {
+		n = len(buf)
+	}
+	fillBurst(buf, n, f.key, s.cfg.PktSize, f.class)
+	at := f.nextAt
+	f.left -= int64(n) * int64(s.cfg.PktSize)
+	if f.left <= 0 {
+		// Flow complete: think, then a fresh flow ramps from IW again.
+		f.nextAt += s.cfg.Think
+		s.startFlow(i, s.src.Split(uint64(s.born[i])<<16|uint64(i)))
+	} else {
+		f.nextAt += f.rtt
+		s.win[i] *= 2 // slow start: the next round doubles
+	}
+	s.count(n, s.cfg.PktSize)
+	return at, n, true
+}

@@ -21,7 +21,7 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-BENCH="${BENCH:-^(BenchmarkMiddleboxSubmitBatch|BenchmarkPolicyTreeSubmitBatch|BenchmarkClusterRebalance)\$}"
+BENCH="${BENCH:-^(BenchmarkMiddleboxSubmitBatch|BenchmarkMiddleboxSubmitBatchOverloaded|BenchmarkPolicyTreeSubmitBatch|BenchmarkClusterRebalance)\$}"
 COUNT="${COUNT:-6}"
 BUDGET="${BUDGET:-10}"
 
