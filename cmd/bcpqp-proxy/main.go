@@ -60,6 +60,8 @@ func main() {
 		clKey    = flag.String("cluster-key", "", "shared secret authenticating budget-exchange frames (HMAC-SHA256); all peers must agree. Empty sends frames unauthenticated — only safe on a trusted network")
 		sharedFl = flag.Bool("shared", false, "enforce -rate as the CLUSTER-WIDE bound for the proxy aggregate: start at the static r/N share and let the budget exchange reclaim idle peers' headroom")
 		overload = flag.Bool("overload", false, "enable the overload-control plane: pressure-driven priority shedding, tightened idle eviction and admission-eviction under table pressure; /healthz reports an active plane as degraded (still 200)")
+		datapath = flag.String("datapath", "ring", "datapath mode: ring (shared socket, engine shard ring) or percore (per-core run-to-completion: SO_REUSEPORT batched sockets, ring-bypass inline enforcement at rate/N per core)")
+		coresFl  = flag.Int("cores", 0, "percore datapath worker count (0 = GOMAXPROCS); each core enforces rate/cores")
 		drain    = flag.Duration("drain-timeout", 5*time.Second, "graceful-shutdown drain deadline on SIGTERM/SIGINT")
 		selftest = flag.Bool("selftest", false, "run the loopback demonstration and exit")
 		duration = flag.Duration("selftest-duration", 5*time.Second, "selftest run length")
@@ -72,6 +74,48 @@ func main() {
 			os.Exit(1)
 		}
 		return
+	}
+
+	if *datapath == "percore" {
+		// The percore plane is deliberately narrow: flat enforcers split
+		// rate/N across pinned cores; the tree, snapshot and cluster
+		// planes stay ring-mode features.
+		for flagName, set := range map[string]bool{
+			"-tree": *treePath != "", "-snapshot": *snapPath != "",
+			"-node-id": *nodeID != "", "-peers": *peerSpec != "",
+			"-cluster-listen": *clListen != "", "-shared": *sharedFl,
+		} {
+			if set {
+				fmt.Fprintf(os.Stderr, "bcpqp-proxy: %s is not supported with -datapath percore\n", flagName)
+				os.Exit(1)
+			}
+		}
+		var admin net.Listener
+		var err error
+		if *httpAddr != "" {
+			if admin, err = net.Listen("tcp", *httpAddr); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			defer admin.Close()
+		}
+		sigc := make(chan os.Signal, 4)
+		signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM, syscall.SIGHUP)
+		os.Exit(servePerCore(perCoreOpts{
+			cores:        *coresFl,
+			listen:       *listen,
+			forward:      *forward,
+			scheme:       *scheme,
+			rate:         bcpqp.Rate(*rateMbps) * bcpqp.Mbps,
+			queues:       *queues,
+			drainTimeout: *drain,
+			sig:          sigc,
+			admin:        admin,
+			overload:     *overload,
+		}))
+	} else if *datapath != "ring" {
+		fmt.Fprintf(os.Stderr, "bcpqp-proxy: unknown -datapath %q (ring|percore)\n", *datapath)
+		os.Exit(1)
 	}
 
 	var clOpts clusterOpts
@@ -318,6 +362,7 @@ func serve(in net.PacketConn, forward string, enf bcpqp.Enforcer, opts proxyOpts
 		var ne net.Error
 		return !(errors.As(err, &ne) && ne.Timeout())
 	}
+	var kc keyCache
 	exit := 0
 	for !stopping.Load() {
 		// First datagram of the burst: block briefly, then re-check the
@@ -340,27 +385,30 @@ func serve(in net.PacketConn, forward string, enf bcpqp.Enforcer, opts proxyOpts
 		// buffer: the engine enforces asynchronously and the emit hook
 		// relays from Packet.Payload.
 		pkts[0] = bcpqp.Packet{
-			Key:     keyFor(from),
+			Key:     kc.keyFor(from),
 			Size:    n,
 			Class:   bcpqp.NoClass,
 			Payload: append([]byte(nil), bufs[0][:n]...),
 		}
 		count := 1
-		for count < len(bufs) {
-			if err := in.SetReadDeadline(time.Now().Add(drainDeadline)); err != nil {
-				break
+		// Opportunistic drain under ONE absolute deadline for the whole
+		// burst: re-arming the deadline before every drain read costs a
+		// timer update per datagram and lets a slow trickle stretch the
+		// window far past drainDeadline.
+		if err := in.SetReadDeadline(time.Now().Add(drainDeadline)); err == nil {
+			for count < len(bufs) {
+				n, from, err = in.ReadFrom(bufs[count])
+				if err != nil {
+					break
+				}
+				pkts[count] = bcpqp.Packet{
+					Key:     kc.keyFor(from),
+					Size:    n,
+					Class:   bcpqp.NoClass,
+					Payload: append([]byte(nil), bufs[count][:n]...),
+				}
+				count++
 			}
-			n, from, err = in.ReadFrom(bufs[count])
-			if err != nil {
-				break
-			}
-			pkts[count] = bcpqp.Packet{
-				Key:     keyFor(from),
-				Size:    n,
-				Class:   bcpqp.NoClass,
-				Payload: append([]byte(nil), bufs[count][:n]...),
-			}
-			count++
 		}
 		if err := mb.SubmitBatch(h, pkts[:count]); err != nil {
 			fmt.Fprintln(os.Stderr, "bcpqp-proxy: submit:", err)
@@ -512,6 +560,7 @@ func relay(in net.PacketConn, forward string, enf bcpqp.Enforcer, stop *atomic.B
 		bufs[i] = make([]byte, 65536)
 	}
 	start := time.Now()
+	var kc keyCache
 	var accepted, dropped, writeDropped, writeErrs int64
 	for {
 		if stop != nil && stop.Load() {
@@ -536,14 +585,16 @@ func relay(in net.PacketConn, forward string, enf bcpqp.Enforcer, stop *atomic.B
 			return err
 		}
 		lens[0] = n
-		pkts[0] = bcpqp.Packet{Key: keyFor(from), Size: n, Class: bcpqp.NoClass}
+		pkts[0] = bcpqp.Packet{Key: kc.keyFor(from), Size: n, Class: bcpqp.NoClass}
 		count := 1
 		// Opportunistic drain: collect datagrams the kernel already
-		// buffered, stopping at the first (very short) timeout.
+		// buffered, under ONE absolute deadline for the whole burst (a
+		// per-read deadline would cost a timer update per datagram and let
+		// a trickle stretch the window far past drainDeadline).
+		if err := in.SetReadDeadline(time.Now().Add(drainDeadline)); err != nil {
+			return fmt.Errorf("set read deadline: %w", err)
+		}
 		for count < len(bufs) {
-			if err := in.SetReadDeadline(time.Now().Add(drainDeadline)); err != nil {
-				return fmt.Errorf("set read deadline: %w", err)
-			}
 			n, from, err = in.ReadFrom(bufs[count])
 			if err != nil {
 				if ne, ok := err.(net.Error); ok && ne.Timeout() {
@@ -552,7 +603,7 @@ func relay(in net.PacketConn, forward string, enf bcpqp.Enforcer, stop *atomic.B
 				return err
 			}
 			lens[count] = n
-			pkts[count] = bcpqp.Packet{Key: keyFor(from), Size: n, Class: bcpqp.NoClass}
+			pkts[count] = bcpqp.Packet{Key: kc.keyFor(from), Size: n, Class: bcpqp.NoClass}
 			count++
 		}
 		bcpqp.SubmitBatch(enf, time.Since(start), pkts[:count], verdicts[:count])
@@ -607,6 +658,33 @@ func keyFor(addr net.Addr) bcpqp.FlowKey {
 		ip = uint32(v4[0])<<24 | uint32(v4[1])<<16 | uint32(v4[2])<<8 | uint32(v4[3])
 	}
 	return bcpqp.FlowKey{SrcIP: ip, SrcPort: uint16(ua.Port), Proto: 17}
+}
+
+// keyCache memoizes the last resolved source address → flow key: within a
+// burst, consecutive datagrams overwhelmingly share a sender, so the common
+// case is one port compare and one IP compare against a reused buffer
+// instead of re-deriving the key per datagram. Single-goroutine, like the
+// read loop that owns it.
+type keyCache struct {
+	ip   net.IP
+	port int
+	key  bcpqp.FlowKey
+	ok   bool
+}
+
+func (c *keyCache) keyFor(addr net.Addr) bcpqp.FlowKey {
+	ua, ok := addr.(*net.UDPAddr)
+	if !ok {
+		return bcpqp.FlowKey{}
+	}
+	if c.ok && ua.Port == c.port && ua.IP.Equal(c.ip) {
+		return c.key
+	}
+	c.ip = append(c.ip[:0], ua.IP...)
+	c.port = ua.Port
+	c.key = keyFor(ua)
+	c.ok = true
+	return c.key
 }
 
 // runSelfTest demonstrates live enforcement over loopback: two senders — a

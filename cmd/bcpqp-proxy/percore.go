@@ -1,0 +1,277 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"bcpqp"
+	"bcpqp/internal/netio"
+)
+
+// Per-core run-to-completion datapath (-datapath percore): N workers, each
+// pinned to an OS thread, each owning the whole path for its share of the
+// traffic — an SO_REUSEPORT socket (the kernel hashes flows across the N
+// listeners), a dedicated engine shard, an aggregate enforcing rate/N, and
+// a connected transmit socket. A burst travels rx → enforce → tx on one
+// goroutine with zero copies and zero handoffs: recvmmsg fills the worker's
+// pinned buffers, the ring-bypass LocalSubmitter enforces inline (verdicts
+// reach the emit hook before SubmitBatch returns), accepted payloads are
+// queued by reference and leave in one sendmmsg. This is the proxy-speed
+// analogue of the DPDK deployment model the paper benchmarks against; the
+// flat rate/N split mirrors the cluster plane's static-share floor.
+//
+// The mode is deliberately narrower than the ring datapath: flat -scheme
+// enforcers only (no -tree), no snapshot/cluster planes. Flow-consistent
+// REUSEPORT hashing keeps each source on one core, so per-flow enforcement
+// state never splits; the aggregate bound is enforced as N independent
+// rate/N shares.
+
+// perCoreOpts parameterizes servePerCore; see proxyOpts for the shared
+// fields' semantics.
+type perCoreOpts struct {
+	cores        int
+	listen       string
+	forward      string
+	scheme       string
+	rate         bcpqp.Rate
+	queues       int
+	drainTimeout time.Duration
+	sig          <-chan os.Signal
+	admin        net.Listener
+	overload     bool
+	// forceSingle selects netio's portable single-datagram fallback
+	// backend (tests exercise both datapaths on any platform). ReusePort
+	// needs the batched backend, so forceSingle also forces cores=1.
+	forceSingle bool
+	// ready, when non-nil, receives the bound listen address once every
+	// core is up (tests listen on :0 and need the resolved port).
+	ready chan<- string
+}
+
+// perCoreAggregate names core i's aggregate.
+func perCoreAggregate(i int) string { return fmt.Sprintf("proxy/core%d", i) }
+
+// servePerCore runs the per-core datapath until SIGTERM/SIGINT, then drains
+// exactly like serve: per-core final stats are summed, the deadline-bounded
+// Close runs, and the exit status reflects whether shutdown was clean.
+func servePerCore(opts perCoreOpts) int {
+	cores := opts.cores
+	if cores <= 0 {
+		cores = runtime.GOMAXPROCS(0)
+	}
+	if opts.forceSingle {
+		cores = 1
+	}
+	if cores > 1 && !netio.SupportsBatch() {
+		fmt.Fprintln(os.Stderr, "bcpqp-proxy: -datapath percore with -cores > 1 needs SO_REUSEPORT (linux amd64/arm64); falling back to 1 core")
+		cores = 1
+	}
+
+	var flog faultLog
+	cfg := bcpqp.MiddleboxConfig{
+		Shards:       cores,
+		CloseTimeout: opts.drainTimeout,
+		OnFault: func(id string, recovered any, _ []byte) {
+			if id == "" {
+				id = "(unattributed)"
+			}
+			if log, n := flog.note(id); log {
+				fmt.Fprintf(os.Stderr, "bcpqp-proxy: event=fault aggregate=%q reason=%q count=%d\n",
+					id, fmt.Sprint(recovered), n)
+			}
+		},
+	}
+	if opts.overload {
+		cfg.Overload = bcpqp.OverloadConfig{Enabled: true, EvictOnFull: true}
+	}
+	var col *bcpqp.Collector
+	if opts.admin != nil {
+		col = bcpqp.Observe(&cfg, bcpqp.ObserveOptions{})
+	}
+	mb := bcpqp.NewMiddlebox(cfg)
+
+	ncfg := netio.Config{ReusePort: cores > 1, ForceSingle: opts.forceSingle}
+	type core struct {
+		rx   *netio.Conn
+		tx   *netio.Conn
+		h    bcpqp.AggregateHandle
+		ls   *bcpqp.LocalSubmitter
+		id   string
+		shed atomic.Int64
+	}
+	cs := make([]*core, cores)
+	var writeDropped atomic.Int64
+	fail := func(err error) int {
+		fmt.Fprintln(os.Stderr, "bcpqp-proxy:", err)
+		for _, c := range cs {
+			if c == nil {
+				continue
+			}
+			if c.rx != nil {
+				c.rx.Close()
+			}
+			if c.tx != nil {
+				c.tx.Close()
+			}
+		}
+		mb.Close()
+		return 1
+	}
+	for i := 0; i < cores; i++ {
+		c := &core{id: perCoreAggregate(i)}
+		cs[i] = c
+		var err error
+		if c.rx, err = netio.Listen(opts.listen, ncfg); err != nil {
+			return fail(fmt.Errorf("core %d listen: %w", i, err))
+		}
+		if i == 0 {
+			// Kernel REUSEPORT groups require identical bind addresses;
+			// later cores must follow the first socket's choice when the
+			// listen address was :0 style.
+			opts.listen = c.rx.LocalAddr().String()
+		}
+		if c.tx, err = netio.Dial(opts.forward, ncfg); err != nil {
+			return fail(fmt.Errorf("core %d dial: %w", i, err))
+		}
+		enf, err := buildEnforcer(opts.scheme, opts.rate/bcpqp.Rate(cores), opts.queues)
+		if err != nil {
+			return fail(err)
+		}
+		tx := c.tx
+		emit := func(p bcpqp.Packet) {
+			// Runs inline during the worker's SubmitBatch: queue the
+			// accepted payload by reference; it leaves in the worker's
+			// FlushTx before the rx buffers are reused.
+			if !tx.QueueTx(p.Payload) {
+				writeDropped.Add(1)
+			}
+		}
+		if c.h, err = mb.AddPinned(c.id, i, enf, emit); err != nil {
+			return fail(err)
+		}
+		if c.ls, err = mb.LocalShard(i); err != nil {
+			return fail(err)
+		}
+		if col != nil {
+			if err := bcpqp.ObserveAggregate(mb, c.id, col); err != nil && !errors.Is(err, bcpqp.ErrNotObservable) {
+				fmt.Fprintln(os.Stderr, "bcpqp-proxy: observe:", err)
+			}
+		}
+	}
+	if col != nil {
+		defer startAdmin(opts.admin, mb, nil).Close()
+	}
+
+	var stopping atomic.Bool
+	go func() {
+		for s := range opts.sig {
+			switch s {
+			case syscall.SIGHUP:
+				fmt.Fprintln(os.Stderr, "bcpqp-proxy: SIGHUP ignored (percore datapath has no snapshot plane)")
+			default:
+				fmt.Fprintf(os.Stderr, "bcpqp-proxy: %v: draining\n", s)
+				stopping.Store(true)
+				return
+			}
+		}
+	}()
+
+	fmt.Fprintf(os.Stderr, "bcpqp-proxy: %s -> %s (percore datapath, %d cores, batched=%v)\n",
+		opts.listen, opts.forward, cores, cs[0].rx.Batched())
+	if opts.ready != nil {
+		opts.ready <- opts.listen
+	}
+
+	var exit atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < cores; i++ {
+		wg.Add(1)
+		go func(i int, c *core) {
+			defer wg.Done()
+			// Run-to-completion: pin the worker to an OS thread so the
+			// scheduler never migrates its socket wakeups mid-burst.
+			runtime.LockOSThread()
+			defer runtime.UnlockOSThread()
+			pkts := make([]bcpqp.Packet, c.rx.Batch())
+			for !stopping.Load() {
+				// Bounded block so stop is honoured within ~100ms when idle.
+				c.rx.SetReadDeadline(time.Now().Add(100 * time.Millisecond))
+				n, err := c.rx.RecvBatch()
+				if err != nil {
+					var ne net.Error
+					if errors.As(err, &ne) && ne.Timeout() {
+						continue
+					}
+					if !stopping.Load() {
+						fmt.Fprintf(os.Stderr, "bcpqp-proxy: core %d read: %v\n", i, err)
+						exit.Store(1)
+					}
+					return
+				}
+				for j := 0; j < n; j++ {
+					ip, port := c.rx.Src(j)
+					pl := c.rx.Payload(j)
+					pkts[j] = bcpqp.Packet{
+						Key:     bcpqp.FlowKey{SrcIP: ip, SrcPort: port, Proto: 17},
+						Size:    len(pl),
+						Class:   bcpqp.NoClass,
+						Payload: pl,
+					}
+				}
+				// Inline enforcement: verdicts hit emit (queueing tx refs)
+				// before SubmitBatch returns, so flushing here completes
+				// the burst while the rx views are still valid.
+				if err := c.ls.SubmitBatch(c.h, pkts[:n]); err != nil {
+					if errors.Is(err, bcpqp.ErrShardSaturated) {
+						c.shed.Add(int64(n))
+						continue
+					}
+					if !stopping.Load() {
+						fmt.Fprintf(os.Stderr, "bcpqp-proxy: core %d submit: %v\n", i, err)
+						exit.Store(1)
+					}
+					return
+				}
+				if err := c.tx.FlushTx(); err != nil && !transientNetErr(err) {
+					if !stopping.Load() {
+						fmt.Fprintf(os.Stderr, "bcpqp-proxy: core %d write: %v\n", i, err)
+						exit.Store(1)
+					}
+					return
+				}
+			}
+		}(i, cs[i])
+	}
+	wg.Wait()
+
+	var total bcpqp.Stats
+	var shed int64
+	for _, c := range cs {
+		if final, err := mb.Remove(c.id); err == nil {
+			total.AcceptedPackets += final.AcceptedPackets
+			total.AcceptedBytes += final.AcceptedBytes
+			total.DroppedPackets += final.DroppedPackets
+		}
+		shed += c.shed.Load()
+		c.rx.Close()
+		c.tx.Close()
+	}
+	rep := mb.Close()
+	fmt.Fprintf(os.Stderr, "bcpqp-proxy: final stats: accepted %d (%d bytes), dropped %d, shed %d, write-dropped %d\n",
+		total.AcceptedPackets, total.AcceptedBytes, total.DroppedPackets, shed, writeDropped.Load())
+	fmt.Fprintf(os.Stderr, "bcpqp-proxy: datapath: inline-bursts %d, inline-fallbacks %d\n",
+		mb.InlineBursts.Load(), mb.InlineFallbacks.Load())
+	fmt.Fprintf(os.Stderr, "bcpqp-proxy: close report: clean=%v abandoned-shards=%d shed-packets=%d\n",
+		rep.Clean, rep.AbandonedShards, rep.ShedPackets)
+	if !rep.Clean {
+		exit.Store(1)
+	}
+	return int(exit.Load())
+}

@@ -1,0 +1,193 @@
+package mbox
+
+// Ring-bypass fast-path tests: the LocalSubmitter must be byte-identical to
+// the ring path on the same seeded workload, refuse cross-shard handles,
+// and degrade to a counted ErrSaturated when the occupancy word is wedged.
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"bcpqp/internal/enforcer"
+	"bcpqp/internal/packet"
+	"bcpqp/internal/tbf"
+	"bcpqp/internal/units"
+)
+
+// emitRec captures what an emit hook can observe about one relayed packet.
+type emitRec struct {
+	Seq  int64
+	Size int
+	CE   bool
+}
+
+// seededBursts regenerates the same randomized burst schedule from a seed:
+// variable burst lengths, 8 flows, variable sizes.
+func seededBursts(seed int64, bursts int) [][]packet.Packet {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]packet.Packet, bursts)
+	var seq int64
+	for b := range out {
+		n := 1 + rng.Intn(32)
+		pkts := make([]packet.Packet, n)
+		for i := range pkts {
+			pkts[i] = packet.Packet{
+				Key:  packet.FlowKey{SrcIP: uint32(0x0a000000 + rng.Intn(8)), SrcPort: 7000, Proto: 17},
+				Size: 64 + rng.Intn(1400),
+				Seq:  seq,
+			}
+			seq++
+		}
+		out[b] = pkts
+	}
+	return out
+}
+
+// TestLocalSubmitEquivalentToRing runs the identical seeded workload through
+// the ring path and the inline path on otherwise-identical engines and
+// demands the same emitted sequence (order, sizes, CE marks), the same final
+// enforcer stats, and that the inline run really bypassed the ring.
+func TestLocalSubmitEquivalentToRing(t *testing.T) {
+	const bursts = 300
+	run := func(local bool) (recs []emitRec, st enforcer.Stats, inline int64) {
+		clock := &fakeClock{step: 50 * time.Microsecond}
+		e := New(Config{Shards: 2, QueueDepth: 1 << 12, Clock: clock.now})
+		defer e.Close()
+		h, err := e.AddPinned("agg", 1, tbf.MustNew(4*units.Mbps, 20*units.MSS),
+			func(p packet.Packet) { recs = append(recs, emitRec{p.Seq, p.Size, p.CE}) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		submit := e.SubmitBatch
+		if local {
+			ls, err := e.Local(h)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ls.Shard() != 1 {
+				t.Fatalf("Local resolved shard %d, want the pinned shard 1", ls.Shard())
+			}
+			submit = ls.SubmitBatch
+		}
+		for _, b := range seededBursts(7, bursts) {
+			if err := submit(h, b); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Stats is an in-band barrier on the ring path and trivially
+		// ordered on the inline path — either way recs is final after it.
+		st, err = e.Stats("agg")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return recs, st, e.InlineBursts.Load()
+	}
+
+	ringRecs, ringStats, ringInline := run(false)
+	localRecs, localStats, localInline := run(true)
+
+	if ringInline != 0 {
+		t.Errorf("ring run counted %d inline bursts, want 0", ringInline)
+	}
+	if localInline != bursts {
+		t.Errorf("local run counted %d inline bursts, want %d", localInline, bursts)
+	}
+	if ringStats != localStats {
+		t.Errorf("final stats diverge: ring %+v, local %+v", ringStats, localStats)
+	}
+	if len(ringRecs) == 0 {
+		t.Fatal("ring path emitted nothing — workload too small to compare")
+	}
+	if !reflect.DeepEqual(ringRecs, localRecs) {
+		i := 0
+		for i < len(ringRecs) && i < len(localRecs) && ringRecs[i] == localRecs[i] {
+			i++
+		}
+		t.Fatalf("emitted sequences diverge at index %d (ring %d recs, local %d recs)", i, len(ringRecs), len(localRecs))
+	}
+}
+
+func TestLocalSubmitWrongShard(t *testing.T) {
+	e := New(Config{Shards: 2, QueueDepth: 64})
+	defer e.Close()
+	h, err := e.AddPinned("a", 0, tbf.MustNew(units.Mbps, 10*units.MSS), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls, err := e.LocalShard(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ls.SubmitBatch(h, burstOf(4, 0)); !errors.Is(err, ErrWrongShard) {
+		t.Fatalf("cross-shard submit = %v, want ErrWrongShard", err)
+	}
+	if _, err := e.LocalShard(2); err == nil {
+		t.Fatal("LocalShard(2) on a 2-shard engine succeeded")
+	}
+	if _, err := e.AddPinned("b", 9, tbf.MustNew(units.Mbps, 10*units.MSS), nil); err == nil {
+		t.Fatal("AddPinned to an out-of-range shard succeeded")
+	}
+}
+
+func TestLocalSubmitStaleHandle(t *testing.T) {
+	e := New(Config{Shards: 1, QueueDepth: 64})
+	defer e.Close()
+	h, err := e.Add("a", tbf.MustNew(units.Mbps, 10*units.MSS), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls, err := e.Local(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Remove("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ls.SubmitBatch(h, burstOf(4, 0)); !errors.Is(err, ErrStale) {
+		t.Fatalf("stale submit = %v, want ErrStale", err)
+	}
+}
+
+// TestLocalSubmitSaturatedOnWedgedShard wedges the shard goroutine inside an
+// emit hook (so it holds the occupancy word) and asserts an inline submitter
+// degrades: ErrSaturated within ControlTimeout, packets counted as shed.
+func TestLocalSubmitSaturatedOnWedgedShard(t *testing.T) {
+	gate := make(chan struct{})
+	e := New(Config{Shards: 1, QueueDepth: 64, ControlTimeout: 50 * time.Millisecond})
+	defer e.Close()
+	defer close(gate)
+	wedged := make(chan struct{})
+	hw, err := e.Add("wedge", tbf.MustNew(units.Mbps, 1000*units.MSS), func(packet.Packet) {
+		close(wedged)
+		<-gate
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hl, err := e.Add("inline", tbf.MustNew(units.Mbps, 1000*units.MSS), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls, err := e.Local(hl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Submit(hw, pkt(0)); err != nil {
+		t.Fatal(err)
+	}
+	<-wedged // shard goroutine now holds the occupancy word
+
+	burst := burstOf(8, 1)
+	if err := ls.SubmitBatch(hl, burst); !errors.Is(err, ErrSaturated) {
+		t.Fatalf("inline submit against a wedged shard = %v, want ErrSaturated", err)
+	}
+	if got := e.Overloaded.Load(); got != int64(len(burst)) {
+		t.Errorf("Overloaded = %d, want %d (the whole shed burst)", got, len(burst))
+	}
+	if got := e.InlineFallbacks.Load(); got != 1 {
+		t.Errorf("InlineFallbacks = %d, want 1", got)
+	}
+}

@@ -306,6 +306,14 @@ type Engine struct {
 	// AdmissionEvictions counts aggregates evicted on the Add path to
 	// admit new ones against a full table (also counted in Evicted).
 	AdmissionEvictions atomic.Int64
+	// InlineBursts counts bursts enforced through the ring-bypass fast
+	// path (LocalSubmitter.SubmitBatch) — run to completion on the
+	// submitting goroutine, no shard-ring hop.
+	InlineBursts atomic.Int64
+	// InlineFallbacks counts ring-bypass submissions that could not claim
+	// their shard's occupancy word within ControlTimeout (a wedged
+	// holder); their packets are counted in Overloaded.
+	InlineFallbacks atomic.Int64
 
 	// table is the copy-on-write registry snapshot the datapath reads
 	// lock-free. Writers (Add/Remove/Close) serialize on mu and publish
@@ -428,7 +436,14 @@ type shard struct {
 	mu     sync.Mutex
 	staged *burst // pending coalesced burst, nil when empty
 
-	verdicts []enforcer.Verdict // consumer-side scratch, shard-owned
+	// occ is the shard occupancy word (occFree/occShard/occLocal): the
+	// shard goroutine CASes it around every ring item and ring-bypass
+	// submitters CAS it around every inline run, so exactly one goroutine
+	// at a time uses the shard's enforcement state (enforcers, verdicts
+	// scratch, trace sampling). See local.go.
+	occ atomic.Int32
+
+	verdicts []enforcer.Verdict // enforcement-side scratch, owned by the occupancy holder
 
 	// Health plane. heartbeat is stamped (wall nanos) around every item;
 	// busy is true while an item is being processed, so the watchdog can
@@ -567,12 +582,17 @@ func (e *Engine) run(s *shard) {
 
 // process executes one item on the shard goroutine; true means stop. It
 // stamps the shard heartbeat around the item and marks the shard busy while
-// the item is in flight, so the watchdog can tell wedged from idle.
+// the item is in flight, so the watchdog can tell wedged from idle. The
+// item runs under the shard's occupancy word, serializing it against
+// ring-bypass inline submitters (see local.go); stop items skip the word —
+// they touch no enforcement state.
 func (e *Engine) process(s *shard, it item) bool {
 	if it.stop {
 		return true
 	}
 	s.busy.Store(true)
+	s.acquire(occShard)
+	defer s.release()
 	wall := time.Now().UnixNano()
 	s.heartbeat.Store(wall)
 	defer func() {
@@ -933,6 +953,27 @@ func (e *Engine) shardFor(id string) *shard {
 // way an Add storm against a full table stays O(table scan) per call and
 // never serializes on the shards' control lanes.
 func (e *Engine) Add(id string, enf enforcer.Enforcer, emit Emit) (Handle, error) {
+	return e.add(id, enf, emit, nil)
+}
+
+// AddPinned is Add with explicit shard placement: the aggregate is owned by
+// shard index shard instead of the ID-hash shard. Pinning is how a per-core
+// run-to-completion datapath lines up core, shard, and aggregate — the
+// worker that owns shard i reads traffic for its pinned aggregates and
+// enforces them inline through a LocalSubmitter bound to the same shard.
+// Everything else about the aggregate (handles, control plane, lifecycle,
+// snapshots) is identical to Add.
+func (e *Engine) AddPinned(id string, shard int, enf enforcer.Enforcer, emit Emit) (Handle, error) {
+	if shard < 0 || shard >= len(e.shards) {
+		return NoHandle, fmt.Errorf("mbox: aggregate %q: shard %d out of range [0,%d)",
+			id, shard, len(e.shards))
+	}
+	return e.add(id, enf, emit, e.shards[shard])
+}
+
+// add is the shared Add/AddPinned body; pinned, when non-nil, overrides the
+// ID-hash shard placement.
+func (e *Engine) add(id string, enf enforcer.Enforcer, emit Emit, pinned *shard) (Handle, error) {
 	if enf == nil {
 		return NoHandle, fmt.Errorf("mbox: nil enforcer for %q", id)
 	}
@@ -979,7 +1020,11 @@ func (e *Engine) Add(id string, enf enforcer.Enforcer, emit Emit) (Handle, error
 	e.slotGen[slot] = gen
 	h := packHandle(slot, gen)
 
-	agg := &aggregate{id: id, h: h, enf: enf, emit: emit, shard: e.shardFor(id)}
+	owner := pinned
+	if owner == nil {
+		owner = e.shardFor(id)
+	}
+	agg := &aggregate{id: id, h: h, enf: enf, emit: emit, shard: owner}
 	if tree, ok := enf.(enforcer.TreeEnforcer); ok {
 		// Node-addressable enforcer (policy tree, cascade chain): open its
 		// per-tree handle namespace. Whole-aggregate submission through h

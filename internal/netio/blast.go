@@ -1,0 +1,76 @@
+package netio
+
+import (
+	"sync/atomic"
+
+	"bcpqp/internal/packet"
+	"bcpqp/internal/workload"
+)
+
+// Blast is the in-process open-loop load generator: it drains a workload
+// source's packet schedule onto the wire as real UDP datagrams, batched
+// through sendmmsg where available. "Open loop" means the schedule's
+// virtual arrival times are ignored — datagrams leave as fast as the
+// socket accepts them, overdriving the datapath under test the way a
+// 10 GbE-equivalent hardware generator would on loopback. Payload bytes
+// carry each packet's Size (clamped to the buffer) of zeros; the receiving
+// datapath classifies by source address, not content.
+type BlastConfig struct {
+	Config
+	// MaxPackets stops the blast after this many datagrams (0 = drain the
+	// source).
+	MaxPackets int64
+	// Stop, when non-nil, aborts the blast between bursts once set — the
+	// hook a benchmark uses to cut the generator when the measured side
+	// has seen enough.
+	Stop *atomic.Bool
+}
+
+// Blast sends src's schedule to dst and reports how many datagrams and
+// payload bytes were put on the wire. Transmit errors end the blast early
+// (returned alongside the counts already sent).
+func Blast(dst string, src workload.Source, cfg BlastConfig) (pkts, bytes int64, err error) {
+	cfg.Config = cfg.Config.withDefaults()
+	conn, err := Dial(dst, cfg.Config)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer conn.Close()
+
+	// One zero-filled payload buffer per tx slot: QueueTx holds
+	// references until FlushTx, so slots must not share a buffer.
+	pay := make([][]byte, cfg.Batch)
+	for i := range pay {
+		pay[i] = make([]byte, cfg.BufBytes)
+	}
+	scratch := make([]packet.Packet, cfg.Batch)
+
+	for {
+		if cfg.Stop != nil && cfg.Stop.Load() {
+			return pkts, bytes, nil
+		}
+		_, n, ok := src.Next(scratch)
+		if !ok {
+			return pkts, bytes, nil
+		}
+		for i := 0; i < n; i++ {
+			size := scratch[i].Size
+			if size <= 0 {
+				size = 1
+			}
+			if size > cfg.BufBytes {
+				size = cfg.BufBytes
+			}
+			conn.QueueTx(pay[i][:size])
+			pkts++
+			bytes += int64(size)
+			if cfg.MaxPackets > 0 && pkts >= cfg.MaxPackets {
+				err = conn.FlushTx()
+				return pkts, bytes, err
+			}
+		}
+		if err := conn.FlushTx(); err != nil {
+			return pkts, bytes, err
+		}
+	}
+}

@@ -1,0 +1,22 @@
+//go:build !linux || (!amd64 && !arm64)
+
+package netio
+
+import (
+	"errors"
+	"syscall"
+)
+
+// Portable stub: no batched backend on this platform — every Conn uses the
+// single-datagram fallback, and SO_REUSEPORT listeners are refused in
+// Listen before this hook is ever reached.
+
+const supportsBatch = false
+
+func reusePortControl(network, address string, c syscall.RawConn) error {
+	return errors.New("netio: SO_REUSEPORT not supported on this platform")
+}
+
+func newBatchBackend(c *Conn) (backend, error) {
+	return nil, errors.New("netio: batched backend not supported on this platform")
+}

@@ -1,0 +1,267 @@
+// Package netio is the batched packet-I/O layer of the live datapath: UDP
+// sockets with one syscall per burst in each direction instead of one per
+// datagram.
+//
+// On Linux (amd64/arm64) receive and transmit go through recvmmsg(2) and
+// sendmmsg(2) over preallocated, pinned buffer/iovec/name arrays, so the
+// steady state is zero allocations and one syscall per burst — the
+// userspace analogue of a DPDK rx_burst/tx_burst. The syscalls are driven
+// through net.UDPConn's SyscallConn, so the runtime poller still owns
+// blocking and read deadlines, and the portable API is identical either
+// way. Everywhere else (and under Config.ForceSingle, which is how the
+// fallback is exercised in tests on any platform) the same API degrades to
+// a single-datagram ReadFromUDPAddrPort/Write fallback.
+//
+// With Config.ReusePort, N listeners can bind the same address and the
+// kernel load-balances flows across them by source hash — the per-core
+// socket model of a run-to-completion datapath (each core owns socket →
+// enforce → emit with no cross-core handoff).
+//
+// A Conn is a single-goroutine object: one worker owns one Conn. Receive
+// results are exposed as views into the Conn's preallocated buffers
+// (Payload/Src), valid until the next RecvBatch.
+package netio
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"time"
+)
+
+// DefaultBatch is the datagrams-per-syscall burst size, matched to the
+// engine's enforcement burst (enforcer.DefaultBurst).
+const DefaultBatch = 32
+
+// DefaultBufBytes is the per-slot receive buffer size. 2048 covers any
+// non-jumbo datagram; raise it for jumbo or fragmented-reassembly loads.
+const DefaultBufBytes = 2048
+
+// Config parameterizes a Conn.
+type Config struct {
+	// Batch is the burst size in datagrams per syscall (default
+	// DefaultBatch).
+	Batch int
+	// BufBytes is each receive slot's buffer size (default
+	// DefaultBufBytes). Datagrams longer than this are truncated by the
+	// kernel, as with any undersized recv buffer.
+	BufBytes int
+	// ReusePort sets SO_REUSEPORT on a listening socket so multiple
+	// per-core listeners can share one address (Linux batched backend
+	// only; Listen fails where unsupported rather than silently binding
+	// a second socket).
+	ReusePort bool
+	// ForceSingle forces the portable single-datagram fallback backend
+	// even where the batched one is available — the hook tests use to
+	// exercise the fallback path on Linux.
+	ForceSingle bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Batch <= 0 {
+		c.Batch = DefaultBatch
+	}
+	if c.BufBytes <= 0 {
+		c.BufBytes = DefaultBufBytes
+	}
+	return c
+}
+
+// Conn is a batched UDP endpoint. Listening Conns receive (RecvBatch,
+// Payload, Src); connected Conns transmit (QueueTx, FlushTx). One
+// goroutine owns a Conn; distinct Conns are fully independent.
+type Conn struct {
+	pc    *net.UDPConn
+	be    backend
+	batch int
+
+	// Receive views, filled by RecvBatch, valid until the next call.
+	bufs  [][]byte
+	lens  []int
+	srcIP []uint32
+	srcPt []uint16
+
+	// Transmit queue: payload references only — FlushTx sends them
+	// without copying, so the backing buffers must stay untouched until
+	// it returns.
+	txPay [][]byte
+	txN   int
+}
+
+// backend is the platform I/O strategy behind a Conn.
+type backend interface {
+	// recv blocks (respecting the read deadline) until at least one
+	// datagram arrives, fills the Conn's lens/src views, and returns the
+	// datagram count.
+	recv() (int, error)
+	// send transmits every payload on the connected socket.
+	send(payloads [][]byte) error
+	// batched reports whether this is the one-syscall-per-burst backend.
+	batched() bool
+}
+
+// SupportsBatch reports whether this platform has the batched
+// recvmmsg/sendmmsg backend compiled in.
+func SupportsBatch() bool { return supportsBatch }
+
+// Listen opens a receiving Conn on a UDP address.
+func Listen(addr string, cfg Config) (*Conn, error) {
+	cfg = cfg.withDefaults()
+	var lc net.ListenConfig
+	if cfg.ReusePort {
+		if cfg.ForceSingle || !supportsBatch {
+			return nil, fmt.Errorf("netio: SO_REUSEPORT not supported by the fallback backend")
+		}
+		lc.Control = reusePortControl
+	}
+	pc, err := lc.ListenPacket(context.Background(), "udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return newConn(pc.(*net.UDPConn), cfg)
+}
+
+// Dial opens a connected (transmitting) Conn to a UDP address.
+func Dial(addr string, cfg Config) (*Conn, error) {
+	cfg = cfg.withDefaults()
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	uc, err := net.DialUDP("udp", nil, ua)
+	if err != nil {
+		return nil, err
+	}
+	return newConn(uc, cfg)
+}
+
+// newConn wires a Conn over an open socket, choosing the batched backend
+// where available (and not overridden).
+func newConn(uc *net.UDPConn, cfg Config) (*Conn, error) {
+	c := &Conn{
+		pc:    uc,
+		batch: cfg.Batch,
+		bufs:  make([][]byte, cfg.Batch),
+		lens:  make([]int, cfg.Batch),
+		srcIP: make([]uint32, cfg.Batch),
+		srcPt: make([]uint16, cfg.Batch),
+		txPay: make([][]byte, cfg.Batch),
+	}
+	for i := range c.bufs {
+		c.bufs[i] = make([]byte, cfg.BufBytes)
+	}
+	if supportsBatch && !cfg.ForceSingle {
+		be, err := newBatchBackend(c)
+		if err != nil {
+			uc.Close()
+			return nil, err
+		}
+		c.be = be
+		return c, nil
+	}
+	c.be = &simpleBackend{c: c}
+	return c, nil
+}
+
+// Batch returns the Conn's burst size.
+func (c *Conn) Batch() int { return c.batch }
+
+// Batched reports whether this Conn uses the one-syscall-per-burst backend.
+func (c *Conn) Batched() bool { return c.be.batched() }
+
+// LocalAddr returns the bound address.
+func (c *Conn) LocalAddr() net.Addr { return c.pc.LocalAddr() }
+
+// SetReadDeadline bounds the next RecvBatch (zero time = no deadline). A
+// deadline hit surfaces as a net.Error with Timeout() true, exactly like
+// net.UDPConn.
+func (c *Conn) SetReadDeadline(t time.Time) error { return c.pc.SetReadDeadline(t) }
+
+// Close closes the socket; a concurrent blocked RecvBatch returns an error.
+func (c *Conn) Close() error { return c.pc.Close() }
+
+// RecvBatch blocks until at least one datagram arrives (or the read
+// deadline passes) and returns how many were received — up to Batch in one
+// recvmmsg on the batched backend, exactly one on the fallback. The
+// datagrams are read through Payload and Src; the views stay valid until
+// the next RecvBatch.
+func (c *Conn) RecvBatch() (int, error) { return c.be.recv() }
+
+// Payload returns the i-th received datagram's bytes, a view into the
+// Conn's receive buffer — valid until the next RecvBatch.
+func (c *Conn) Payload(i int) []byte { return c.bufs[i][:c.lens[i]] }
+
+// Src returns the i-th received datagram's source as a big-endian IPv4
+// address (for IPv6 sources, the low 4 address bytes — exact for
+// v4-mapped, a stable key otherwise) and port.
+func (c *Conn) Src(i int) (ip uint32, port uint16) { return c.srcIP[i], c.srcPt[i] }
+
+// QueueTx stages one datagram for the next FlushTx, by reference — no
+// copy. The caller must keep p's backing array untouched until FlushTx
+// returns (the zero-copy contract a run-to-completion loop satisfies
+// naturally: rx buffers are only reused after the burst is enforced,
+// emitted, and flushed). Returns false when the transmit queue is full —
+// flush first.
+func (c *Conn) QueueTx(p []byte) bool {
+	if c.txN >= len(c.txPay) {
+		return false
+	}
+	c.txPay[c.txN] = p
+	c.txN++
+	return true
+}
+
+// QueuedTx reports how many datagrams are staged for FlushTx.
+func (c *Conn) QueuedTx() int { return c.txN }
+
+// FlushTx transmits every queued datagram on the connected socket — one
+// sendmmsg per call on the batched backend (more if the kernel takes a
+// partial batch). The queue is emptied even on error: a transmit error on
+// an open-loop datapath sheds, it does not retry into a growing backlog.
+func (c *Conn) FlushTx() error {
+	if c.txN == 0 {
+		return nil
+	}
+	n := c.txN
+	c.txN = 0
+	return c.be.send(c.txPay[:n])
+}
+
+// simpleBackend is the portable single-datagram fallback: one
+// ReadFromUDPAddrPort or Write syscall per datagram, allocation-free via
+// netip. It compiles (and is tested) everywhere, so the fallback path is
+// exercised on Linux too, not just on the platforms that need it.
+type simpleBackend struct {
+	c *Conn
+}
+
+func (b *simpleBackend) batched() bool { return false }
+
+func (b *simpleBackend) recv() (int, error) {
+	c := b.c
+	n, ap, err := c.pc.ReadFromUDPAddrPort(c.bufs[0])
+	if err != nil {
+		return 0, err
+	}
+	c.lens[0] = n
+	a := ap.Addr().Unmap()
+	if a.Is4() {
+		b4 := a.As4()
+		c.srcIP[0] = uint32(b4[0])<<24 | uint32(b4[1])<<16 | uint32(b4[2])<<8 | uint32(b4[3])
+	} else {
+		b16 := a.As16()
+		c.srcIP[0] = uint32(b16[12])<<24 | uint32(b16[13])<<16 | uint32(b16[14])<<8 | uint32(b16[15])
+	}
+	c.srcPt[0] = ap.Port()
+	return 1, nil
+}
+
+func (b *simpleBackend) send(payloads [][]byte) error {
+	var first error
+	for _, p := range payloads {
+		if _, err := b.c.pc.Write(p); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

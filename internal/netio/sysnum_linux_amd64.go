@@ -1,0 +1,10 @@
+//go:build linux && amd64
+
+package netio
+
+// recvmmsg/sendmmsg syscall numbers for linux/amd64 (the toolchain's frozen
+// syscall package predates sendmmsg; see arch/x86/entry/syscalls).
+const (
+	sysRecvmmsg uintptr = 299
+	sysSendmmsg uintptr = 307
+)

@@ -1,0 +1,9 @@
+//go:build linux && arm64
+
+package netio
+
+// recvmmsg/sendmmsg syscall numbers for linux/arm64 (generic unistd table).
+const (
+	sysRecvmmsg uintptr = 243
+	sysSendmmsg uintptr = 269
+)

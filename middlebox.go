@@ -51,6 +51,19 @@ var ErrStaleHandle = mbox.ErrStale
 // Test with errors.Is.
 var ErrAggregateTableFull = mbox.ErrTableFull
 
+// ErrWrongShard reports a ring-bypass submission against an aggregate owned
+// by a different shard than the submitter's. Pin the aggregate with
+// Middlebox.AddPinned or mint the submitter from the aggregate's own handle
+// via Middlebox.Local. Test with errors.Is.
+var ErrWrongShard = mbox.ErrWrongShard
+
+// LocalSubmitter is the ring-bypass fast path: a shard-affinity submitter
+// that enforces bursts inline on the calling goroutine — no channel send,
+// no cross-core handoff — for per-core run-to-completion datapaths. Mint
+// one with Middlebox.Local or Middlebox.LocalShard; see mbox.LocalSubmitter
+// for the ownership and ordering contract.
+type LocalSubmitter = mbox.LocalSubmitter
+
 // ErrNotReconfigurable reports a Middlebox.SetRate/SetPolicy against an
 // enforcer that does not implement Reconfigurer. Test with errors.Is.
 var ErrNotReconfigurable = mbox.ErrNotReconfigurable

@@ -21,9 +21,25 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-BENCH="${BENCH:-^(BenchmarkMiddleboxSubmitBatch|BenchmarkMiddleboxSubmitBatchOverloaded|BenchmarkPolicyTreeSubmitBatch|BenchmarkClusterRebalance)\$}"
+BENCH="${BENCH:-^(BenchmarkMiddleboxSubmitBatch|BenchmarkMiddleboxSubmitBatchOverloaded|BenchmarkMiddleboxSubmitBatchLocal|BenchmarkPolicyTreeSubmitBatch|BenchmarkClusterRebalance|BenchmarkDatapathSingleSocket|BenchmarkDatapathPerCore)\$}"
 COUNT="${COUNT:-6}"
 BUDGET="${BUDGET:-10}"
+
+# Committed BENCH_*.json snapshots must reference benchmarks that still
+# exist: a renamed or deleted benchmark silently turns a snapshot into
+# unrefreshable stale data, so fail loudly instead.
+stale=""
+have="$(go test -run '^$' -list '^Benchmark' . 2>/dev/null)"
+for f in BENCH_*.json; do
+	[ -e "$f" ] || continue
+	for b in $(grep -o '"benchmark"[[:space:]]*:[[:space:]]*"[^"]*"' "$f" | sed 's/.*"\(Benchmark[^"]*\)"/\1/' | sort -u); do
+		if ! printf '%s\n' "$have" | grep -qx "$b"; then
+			echo "bench-compare: FAIL: $f is stale — $b no longer exists (refresh or remove the snapshot)" >&2
+			stale=1
+		fi
+	done
+done
+[ -z "$stale" ] || exit 1
 
 base_ref=""
 if [ -n "${1:-}" ]; then
@@ -70,12 +86,19 @@ fi
 # The gate: per benchmark present on both sides, the head's mean throughput
 # (pkts/sec for the datapath, shares/sec for the cluster rebalance) must not
 # be more than BUDGET percent below the base's. A benchmark present on only
-# one side (e.g. newly added at head) is skipped, not failed.
+# one side (e.g. newly added at head) is skipped, not failed. Lines that
+# report both pkts/sec and pkts/sec/core (the datapath benchmarks) are gated
+# on the per-core figure only — never summed twice.
 awk -v budget="$BUDGET" '
 	FNR == 1 { side++ }
 	/^Benchmark/ {
-		for (i = 2; i < NF; i++) if ($(i + 1) == "pkts/sec" || $(i + 1) == "shares/sec") {
-			sum[side, $1] += $i; n[side, $1]++
+		v = ""
+		for (i = 2; i < NF; i++) {
+			if ($(i + 1) == "pkts/sec/core") { v = $i; break }
+			if ($(i + 1) == "pkts/sec" || $(i + 1) == "shares/sec") v = $i
+		}
+		if (v != "") {
+			sum[side, $1] += v; n[side, $1]++
 			if (side == 1) names[$1] = 1
 		}
 	}
