@@ -39,11 +39,12 @@ govulncheck:
 # quarantine, watchdog, deadline-bounded Close, and the cluster
 # budget-exchange invariant under injected network faults) plus the
 # adversarial-overload suite (UDP floods, flash crowds, mixed-RTT swarms,
-# short-flow storms against the load-shed plane) repeated under the race
-# detector. Seeded draws make every repetition identical, so -count=3
-# checks the engine, not the dice.
+# short-flow storms against the load-shed plane) and the conformance-audit
+# suite (exact reconciliation against injected over-admission) repeated
+# under the race detector. Seeded draws make every repetition identical,
+# so -count=3 checks the engine, not the dice.
 chaos:
-	$(GO) test -race -count=3 -run 'Chaos|Fault|Control|Overload|Storm|Flood|Flash' ./internal/mbox/ ./internal/faultinject/ ./internal/cluster/ ./internal/workload/
+	$(GO) test -race -count=3 -run 'Chaos|Fault|Control|Overload|Storm|Flood|Flash|Audit' ./internal/mbox/ ./internal/faultinject/ ./internal/cluster/ ./internal/workload/
 
 # Ten-second smoke run of every fuzz target (seed corpus + a short burst of
 # generated inputs); full fuzzing sessions run the targets individually.

@@ -6,9 +6,30 @@
 //	/metrics      Prometheus text exposition of the engine's metric families
 //	/metrics/tree per-node counters of the policy tree (node + path labels)
 //	/healthz      200 when no shard is wedged, 503 otherwise (JSON body)
+//	/debug/audit  JSON conformance-audit report (armed auditors + latency digest)
 //	/debug/trace  JSON dump of the flight recorder (most recent events)
 //	/debug/vars   expvar, including the engine metrics under "bcpqp"
 //	/debug/pprof  the standard Go profiling handlers
+//
+// /healthz body schema (stable; all fields always present unless marked):
+//
+//	{
+//	  "healthy":  bool,       // no shard wedged — mirrors the HTTP status
+//	  "degraded": bool,       // serving, but on a conservative posture:
+//	                          // cluster fallback share and/or overload shedding
+//	  "panics": int, "overloaded_packets": int,
+//	  "quarantined": [ids],   // omitted when empty
+//	  "shards": [{"shard","state","queue_depth","queue_cap",
+//	              "heartbeat_age","processed","panics","shed_packets"}],
+//	  "overload": {           // omitted when the overload plane is disabled
+//	    "active": bool, "pressure": 0..1, "ring_pressure", "table_fill",
+//	    "shed_rate_pps", "priority_shed_packets", "admission_evictions",
+//	    "transitions"},
+//	  "cluster": {            // omitted when cluster mode is off
+//	    "degraded": bool,     // any shared aggregate on its fallback floor
+//	    "fallback_aggregates": [ids],  // omitted when empty
+//	    "max_report_age": "4.2s"}      // "never" before the first report
+//	}
 package main
 
 import (
@@ -121,6 +142,11 @@ func newAdminMux(mb *bcpqp.Middlebox, node *bcpqp.ClusterNode) *http.ServeMux {
 			AdmissionEvictions int64   `json:"admission_evictions"`
 			Transitions        int64   `json:"transitions"`
 		}
+		type clusterz struct {
+			Degraded           bool     `json:"degraded"`
+			FallbackAggregates []string `json:"fallback_aggregates,omitempty"`
+			MaxReportAge       string   `json:"max_report_age"`
+		}
 		body := struct {
 			Healthy     bool       `json:"healthy"`
 			Degraded    bool       `json:"degraded"`
@@ -129,12 +155,26 @@ func newAdminMux(mb *bcpqp.Middlebox, node *bcpqp.ClusterNode) *http.ServeMux {
 			Panics      int64      `json:"panics"`
 			Overloaded  int64      `json:"overloaded_packets"`
 			Overload    *overloadz `json:"overload,omitempty"`
+			Cluster     *clusterz  `json:"cluster,omitempty"`
 		}{
 			Healthy:     !h.Wedged(),
 			Degraded:    degraded,
 			Panics:      h.Panics,
 			Overloaded:  h.Overloaded,
 			Quarantined: h.Quarantined,
+		}
+		if node != nil {
+			st := node.Status()
+			cz := &clusterz{Degraded: st.Degraded, MaxReportAge: "never"}
+			if st.MaxReportAge >= 0 {
+				cz.MaxReportAge = st.MaxReportAge.String()
+			}
+			for _, a := range st.Shared {
+				if a.Fallback {
+					cz.FallbackAggregates = append(cz.FallbackAggregates, a.ID)
+				}
+			}
+			body.Cluster = cz
 		}
 		if h.Overload.Enabled {
 			body.Overload = &overloadz{
@@ -226,6 +266,74 @@ func newAdminMux(mb *bcpqp.Middlebox, node *bcpqp.ClusterNode) *http.ServeMux {
 		enc.Encode(body)
 	})
 
+	mux.HandleFunc("/debug/audit", func(w http.ResponseWriter, r *http.Request) {
+		// Conformance-audit report: every armed auditor's exact envelope
+		// counters plus quantiles from the mergeable digests. Quantiles
+		// carry the digest's ≤12.5% relative error; the counters are exact.
+		rep := mb.AuditReport()
+		type digestz struct {
+			Count uint64 `json:"count"`
+			P50   int64  `json:"p50"`
+			P90   int64  `json:"p90"`
+			P99   int64  `json:"p99"`
+			Max   int64  `json:"max"`
+		}
+		quant := func(d bcpqp.DigestSnapshot) *digestz {
+			if d.Total() == 0 {
+				return nil
+			}
+			return &digestz{
+				Count: d.Total(),
+				P50:   d.Quantile(0.50),
+				P90:   d.Quantile(0.90),
+				P99:   d.Quantile(0.99),
+				Max:   d.Quantile(1),
+			}
+		}
+		type auditz struct {
+			Aggregate     string   `json:"aggregate"`
+			Node          int32    `json:"node"` // -1 = whole-aggregate envelope
+			NodeLabel     string   `json:"node_label,omitempty"`
+			EnvelopeBps   int64    `json:"envelope_bps"`
+			BurstBytes    int64    `json:"burst_bytes"`
+			AllowedBytes  int64    `json:"allowed_bytes"`
+			AcceptedBytes int64    `json:"accepted_bytes"`
+			SlackBytes    int64    `json:"slack_bytes"`
+			MinSlackBytes int64    `json:"min_slack_bytes"`
+			MaxDeficit    int64    `json:"max_deficit_bytes"`
+			Violations    int64    `json:"violations"`
+			Windows       int64    `json:"windows"`
+			SlackBytesQ   *digestz `json:"slack_distribution_bytes,omitempty"`
+			RateErrQ      *digestz `json:"rate_error_permille,omitempty"`
+		}
+		body := struct {
+			Armed           int      `json:"armed"`
+			ViolationsTotal int64    `json:"violations_total"`
+			BurstLatencyNS  *digestz `json:"burst_enforce_latency_ns,omitempty"`
+			Audits          []auditz `json:"audits"`
+		}{
+			Armed:           len(rep),
+			ViolationsTotal: mb.AuditViolations(),
+			BurstLatencyNS:  quant(mb.BurstLatency()),
+			Audits:          make([]auditz, 0, len(rep)),
+		}
+		for _, e := range rep {
+			c := e.Counters
+			body.Audits = append(body.Audits, auditz{
+				Aggregate: e.Aggregate, Node: int32(e.Node), NodeLabel: e.NodeLabel,
+				EnvelopeBps: c.RateBps, BurstBytes: c.BurstBytes,
+				AllowedBytes: c.AllowedBytes, AcceptedBytes: c.AcceptedBytes,
+				SlackBytes: c.SlackBytes, MinSlackBytes: c.MinSlackBytes,
+				MaxDeficit: c.MaxDeficit, Violations: c.Violations, Windows: c.Windows,
+				SlackBytesQ: quant(e.Slack), RateErrQ: quant(e.RateErr),
+			})
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(body)
+	})
+
 	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, r *http.Request) {
 		events := mb.TraceDump()
 		w.Header().Set("Content-Type", "application/json")
@@ -286,7 +394,7 @@ func startAdmin(ln net.Listener, mb *bcpqp.Middlebox, node *bcpqp.ClusterNode) *
 			fmt.Fprintf(os.Stderr, "bcpqp-proxy: admin listener: %v\n", err)
 		}
 	}()
-	fmt.Fprintf(os.Stderr, "bcpqp-proxy: admin endpoints on http://%s (/metrics /metrics/tree /healthz /cluster /debug/trace /debug/vars /debug/pprof)\n",
+	fmt.Fprintf(os.Stderr, "bcpqp-proxy: admin endpoints on http://%s (/metrics /metrics/tree /healthz /cluster /debug/audit /debug/trace /debug/vars /debug/pprof)\n",
 		ln.Addr())
 	return srv
 }

@@ -301,3 +301,85 @@ func TestFaultLogRateLimits(t *testing.T) {
 		t.Errorf("first fault of a new key: log=%v n=%d, want true 1", ok, n)
 	}
 }
+
+// TestDebugAuditEndpoint arms a conformance auditor with a deliberately
+// understated envelope, pushes traffic through, and asserts /debug/audit
+// reports the armed auditor with nonzero violations and exact counters.
+func TestDebugAuditEndpoint(t *testing.T) {
+	mb := bcpqp.NewMiddlebox(bcpqp.MiddleboxConfig{Shards: 1, QueueDepth: 256, FlushBurst: 64})
+	defer mb.Close()
+	enf, err := buildEnforcer("tbf", bcpqp.Rate(100)*bcpqp.Mbps, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := mb.Add("audited", enf, func(bcpqp.Packet) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Envelope claims 1 kbps with a tiny burst while the enforcer admits
+	// 100 Mbps: every accepted burst breaches it.
+	if err := mb.ArmAudit("audited", bcpqp.Rate(1000), 64); err != nil {
+		t.Fatal(err)
+	}
+	pkts := make([]bcpqp.Packet, 64)
+	for i := range pkts {
+		pkts[i] = bcpqp.Packet{Key: bcpqp.FlowKey{SrcIP: uint32(i), Proto: 17}, Size: bcpqp.MSS}
+	}
+	for i := 0; i < 20; i++ {
+		if err := mb.SubmitBatch(h, pkts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mb.Stats("audited") // in-band barrier: all submitted batches enforced
+
+	srv := httptest.NewServer(newAdminMux(mb, nil))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/debug/audit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/audit = %d", resp.StatusCode)
+	}
+	var body struct {
+		Armed           int   `json:"armed"`
+		ViolationsTotal int64 `json:"violations_total"`
+		BurstLatencyNS  *struct {
+			Count uint64 `json:"count"`
+			P99   int64  `json:"p99"`
+		} `json:"burst_enforce_latency_ns"`
+		Audits []struct {
+			Aggregate     string `json:"aggregate"`
+			Node          int32  `json:"node"`
+			EnvelopeBps   int64  `json:"envelope_bps"`
+			AcceptedBytes int64  `json:"accepted_bytes"`
+			Violations    int64  `json:"violations"`
+		} `json:"audits"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Armed != 1 || len(body.Audits) != 1 {
+		t.Fatalf("armed=%d audits=%d, want 1/1", body.Armed, len(body.Audits))
+	}
+	a := body.Audits[0]
+	if a.Aggregate != "audited" || a.Node != -1 || a.EnvelopeBps != 1000 {
+		t.Errorf("audit row %+v, want whole-aggregate envelope at 1000 bps", a)
+	}
+	if a.Violations == 0 || body.ViolationsTotal != a.Violations {
+		t.Errorf("violations=%d total=%d, want nonzero and equal", a.Violations, body.ViolationsTotal)
+	}
+	st, err := mb.Stats("audited")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.AcceptedBytes != st.AcceptedBytes {
+		t.Errorf("audited accepted %d bytes, engine counted %d", a.AcceptedBytes, st.AcceptedBytes)
+	}
+	// No Observer is attached, so the latency digest must be omitted rather
+	// than rendered as a zero-count object.
+	if body.BurstLatencyNS != nil {
+		t.Errorf("burst_enforce_latency_ns = %+v, want omitted without an Observer", body.BurstLatencyNS)
+	}
+}

@@ -171,6 +171,10 @@ func main() {
 	}
 	sigc := make(chan os.Signal, 4)
 	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM, syscall.SIGHUP)
+	auditBurst := int64(0)
+	if *treePath == "" {
+		auditBurst = auditEnvelope(*scheme, bcpqp.Rate(*rateMbps)*bcpqp.Mbps, *queues)
+	}
 	os.Exit(serve(in, *forward, enf, proxyOpts{
 		snapshotPath: *snapPath,
 		drainTimeout: *drain,
@@ -178,6 +182,8 @@ func main() {
 		admin:        admin,
 		cluster:      clOpts,
 		overload:     *overload,
+		auditRate:    bcpqp.Rate(*rateMbps) * bcpqp.Mbps,
+		auditBurst:   auditBurst,
 	}))
 }
 
@@ -204,6 +210,40 @@ type proxyOpts struct {
 	// overload enables the engine's overload-control plane (defaults:
 	// pressure thresholds, harmonic shed classes, admission eviction).
 	overload bool
+	// auditRate/auditBurst, when burst > 0, arm the always-on conformance
+	// auditor on the proxy aggregate: every enforced burst is checked
+	// against the Theorem-1 envelope auditRate·Δt + auditBurst.
+	auditRate  bcpqp.Rate
+	auditBurst int64
+}
+
+// auditEnvelope sizes the plan-rate conformance envelope for a scheme: the
+// plan rate plus a burst term covering the scheme's worst-case buffering
+// (phantom capacity or bucket depth) with 2× slop, so a correct enforcer
+// can never trip it while real over-admission — which grows without bound —
+// still does. Returns burst 0 (audit off) for unknown schemes and policy
+// trees, whose per-node ceilings are armed individually via ArmNodeAudit.
+func auditEnvelope(name string, rate bcpqp.Rate, queues int) int64 {
+	scheme, err := bcpqp.ParseScheme(name)
+	if err != nil {
+		return 0
+	}
+	const maxRTT = 100 * time.Millisecond
+	switch scheme {
+	case bcpqp.SchemeBCPQP:
+		return 2 * int64(queues) * bcpqp.RecommendedQueueSize(rate, maxRTT)
+	case bcpqp.SchemePQP:
+		return 2 * int64(queues) * bcpqp.RenoQueueRequirement(rate, maxRTT)
+	case bcpqp.SchemePolicer, bcpqp.SchemePolicerPlus, bcpqp.SchemeFairPolicer:
+		bdp := int64(float64(rate) / 8 * maxRTT.Seconds())
+		reno := bcpqp.RenoQueueRequirement(rate, maxRTT)
+		if reno > bdp {
+			bdp = reno
+		}
+		return 2 * (bdp + int64(bcpqp.MSS))
+	default:
+		return 0
+	}
 }
 
 // serve runs the engine-hosted datapath until SIGTERM/SIGINT, then drains
@@ -291,6 +331,15 @@ func serve(in net.PacketConn, forward string, enf bcpqp.Enforcer, opts proxyOpts
 		// schemes expose no event hook; that only thins the trace.
 		if err := bcpqp.ObserveAggregate(mb, proxyAggregate, col); err != nil && !errors.Is(err, bcpqp.ErrNotObservable) {
 			fmt.Fprintln(os.Stderr, "bcpqp-proxy: observe:", err)
+		}
+	}
+	if opts.auditBurst > 0 {
+		// Always-on conformance audit: the plan envelope (with the
+		// scheme's buffering slop) is live from the first packet, so
+		// bcpqp_conformance_violations_total staying at zero is a
+		// continuously-checked claim, not an assumption.
+		if err := mb.ArmAudit(proxyAggregate, opts.auditRate, opts.auditBurst); err != nil {
+			fmt.Fprintln(os.Stderr, "bcpqp-proxy: audit:", err)
 		}
 	}
 

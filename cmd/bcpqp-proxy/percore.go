@@ -105,6 +105,7 @@ func servePerCore(opts perCoreOpts) int {
 		ls   *bcpqp.LocalSubmitter
 		id   string
 		shed atomic.Int64
+		coreStats
 	}
 	cs := make([]*core, cores)
 	var writeDropped atomic.Int64
@@ -164,8 +165,31 @@ func servePerCore(opts perCoreOpts) int {
 				fmt.Fprintln(os.Stderr, "bcpqp-proxy: observe:", err)
 			}
 		}
+		// Always-on conformance audit per core: each worker's aggregate
+		// is checked against its rate/N plan envelope inline.
+		coreRate := opts.rate / bcpqp.Rate(cores)
+		if burst := auditEnvelope(opts.scheme, coreRate, opts.queues); burst > 0 {
+			if err := mb.ArmAudit(c.id, coreRate, burst); err != nil {
+				fmt.Fprintln(os.Stderr, "bcpqp-proxy: audit:", err)
+			}
+		}
 	}
 	if col != nil {
+		// Per-core cycle telemetry joins the engine's /metrics exposition:
+		// one bcpqp_core_* sample per core, plus the kernel's own
+		// receive-drop counter so a scrape can reconcile offered load
+		// against what the datapath actually saw.
+		mb.AttachMetricSource(func() []bcpqp.MetricsFamily {
+			b := newCoreFamilies()
+			for i, c := range cs {
+				drops, haveDrops := int64(0), false
+				if c.rx != nil {
+					drops, haveDrops = c.rx.KernelDrops()
+				}
+				b.add(i, &c.coreStats, c.shed.Load(), drops, haveDrops)
+			}
+			return b.render()
+		})
 		defer startAdmin(opts.admin, mb, nil).Close()
 	}
 
@@ -202,11 +226,14 @@ func servePerCore(opts perCoreOpts) int {
 			pkts := make([]bcpqp.Packet, c.rx.Batch())
 			for !stopping.Load() {
 				// Bounded block so stop is honoured within ~100ms when idle.
-				c.rx.SetReadDeadline(time.Now().Add(100 * time.Millisecond))
+				t0 := time.Now()
+				c.rx.SetReadDeadline(t0.Add(100 * time.Millisecond))
 				n, err := c.rx.RecvBatch()
+				c.rxWaitNs.Add(time.Since(t0).Nanoseconds())
 				if err != nil {
 					var ne net.Error
 					if errors.As(err, &ne) && ne.Timeout() {
+						c.rxTimeouts.Add(1)
 						continue
 					}
 					if !stopping.Load() {
@@ -225,10 +252,14 @@ func servePerCore(opts perCoreOpts) int {
 						Payload: pl,
 					}
 				}
+				c.recvCalls.Add(1)
+				c.recvPkts.Add(int64(n))
 				// Inline enforcement: verdicts hit emit (queueing tx refs)
 				// before SubmitBatch returns, so flushing here completes
 				// the burst while the rx views are still valid.
+				t1 := time.Now()
 				if err := c.ls.SubmitBatch(c.h, pkts[:n]); err != nil {
+					c.enforceNs.Add(time.Since(t1).Nanoseconds())
 					if errors.Is(err, bcpqp.ErrShardSaturated) {
 						c.shed.Add(int64(n))
 						continue
@@ -239,12 +270,21 @@ func servePerCore(opts perCoreOpts) int {
 					}
 					return
 				}
-				if err := c.tx.FlushTx(); err != nil && !transientNetErr(err) {
+				c.enforceNs.Add(time.Since(t1).Nanoseconds())
+				queued := c.tx.QueuedTx()
+				t2 := time.Now()
+				err = c.tx.FlushTx()
+				c.flushNs.Add(time.Since(t2).Nanoseconds())
+				if err != nil && !transientNetErr(err) {
 					if !stopping.Load() {
 						fmt.Fprintf(os.Stderr, "bcpqp-proxy: core %d write: %v\n", i, err)
 						exit.Store(1)
 					}
 					return
+				}
+				if queued > 0 && err == nil {
+					c.txFlushes.Add(1)
+					c.txPkts.Add(int64(queued))
 				}
 			}
 		}(i, cs[i])
@@ -252,20 +292,44 @@ func servePerCore(opts perCoreOpts) int {
 	wg.Wait()
 
 	var total bcpqp.Stats
-	var shed int64
-	for _, c := range cs {
+	var shed, kernelDrops int64
+	kernelDropsKnown := true
+	for i, c := range cs {
 		if final, err := mb.Remove(c.id); err == nil {
 			total.AcceptedPackets += final.AcceptedPackets
 			total.AcceptedBytes += final.AcceptedBytes
 			total.DroppedPackets += final.DroppedPackets
 		}
 		shed += c.shed.Load()
+		// Per-core cycle accounting, read before the sockets close (the
+		// kernel drop row vanishes with the socket). recvPkts + kernel
+		// drops = what the wire offered this core.
+		drops, ok := c.rx.KernelDrops()
+		if ok {
+			kernelDrops += drops
+		} else {
+			kernelDropsKnown = false
+		}
+		pps := 0.0
+		if calls := c.recvCalls.Load(); calls > 0 {
+			pps = float64(c.recvPkts.Load()) / float64(calls)
+		}
+		fmt.Fprintf(os.Stderr, "bcpqp-proxy: core %d: recv %d pkts in %d syscalls (%.1f pkts/syscall), tx %d pkts in %d flushes, kernel-drops %d, busy rx=%v enforce=%v flush=%v\n",
+			i, c.recvPkts.Load(), c.recvCalls.Load(), pps,
+			c.txPkts.Load(), c.txFlushes.Load(), drops,
+			time.Duration(c.rxWaitNs.Load()).Round(time.Millisecond),
+			time.Duration(c.enforceNs.Load()).Round(time.Millisecond),
+			time.Duration(c.flushNs.Load()).Round(time.Millisecond))
 		c.rx.Close()
 		c.tx.Close()
 	}
 	rep := mb.Close()
 	fmt.Fprintf(os.Stderr, "bcpqp-proxy: final stats: accepted %d (%d bytes), dropped %d, shed %d, write-dropped %d\n",
 		total.AcceptedPackets, total.AcceptedBytes, total.DroppedPackets, shed, writeDropped.Load())
+	if kernelDropsKnown {
+		fmt.Fprintf(os.Stderr, "bcpqp-proxy: reconciliation: kernel dropped %d datagrams before the datapath (engine saw offered minus exactly these)\n",
+			kernelDrops)
+	}
 	fmt.Fprintf(os.Stderr, "bcpqp-proxy: datapath: inline-bursts %d, inline-fallbacks %d\n",
 		mb.InlineBursts.Load(), mb.InlineFallbacks.Load())
 	fmt.Fprintf(os.Stderr, "bcpqp-proxy: close report: clean=%v abandoned-shards=%d shed-packets=%d\n",

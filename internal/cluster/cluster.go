@@ -123,6 +123,16 @@ type shared struct {
 
 	grantOut []units.Rate // [peer][holdTicks] hold ring
 	grants   []Grant      // wire scratch for this tick's outbound grants
+
+	// Conformance roll-up (ISSUE: cluster-wide audit). All updated inside
+	// Rebalance under the node lock, alloc-free.
+	prevGrant   []units.Rate  // last tick's planned grant per peer, for churn detection
+	grantChurn  int64         // ticks×peers where the planned grant changed
+	sumApplied  units.Rate    // local applied + Σ newest peer-reported applied
+	overcommits int64         // ticks where sumApplied exceeded rate (+0.1% tolerance)
+	unstable    bool          // share changed last tick; convergence episode open
+	unstableAt  time.Duration // when the open episode started
+	convD       *obs.Digest   // convergence episode durations, nanoseconds
 }
 
 // Node runs the exchange for one engine. Safe for concurrent use.
@@ -137,14 +147,14 @@ type Node struct {
 	seq        uint64 // report sequence, one per tick
 	handoffSeq uint64 // separate space for handoff frames (never echoed)
 	tickIdx    int    // seq % holdTicks, the hold-ring slot
-	peers     map[string]*peer
-	peerList  []*peer // sorted by ID
-	shared    map[string]*shared
-	sharedIDs []string // sorted, for deterministic reports
-	badFrames int64    // undecodable or unattributable frames
-	handoffs  int64    // takeover frames consumed
-	jitter    *rng.Source
-	started   time.Time
+	peers      map[string]*peer
+	peerList   []*peer // sorted by ID
+	shared     map[string]*shared
+	sharedIDs  []string // sorted, for deterministic reports
+	badFrames  int64    // undecodable or unattributable frames
+	handoffs   int64    // takeover frames consumed
+	jitter     *rng.Source
+	started    time.Time
 
 	// Scratch reused every tick so rebalancing allocates nothing.
 	demand   []peerDemand
@@ -235,10 +245,12 @@ func New(cfg Config, aggs []SharedAggregate) (*Node, error) {
 			return nil, fmt.Errorf("cluster: duplicate shared aggregate %q", a.ID)
 		}
 		s := &shared{
-			cfg:      a,
-			floor:    a.Rate / units.Rate(nFloor),
-			grantOut: make([]units.Rate, len(n.peerIDs)*holdTicks),
-			grants:   make([]Grant, 0, len(n.peerIDs)),
+			cfg:       a,
+			floor:     a.Rate / units.Rate(nFloor),
+			grantOut:  make([]units.Rate, len(n.peerIDs)*holdTicks),
+			grants:    make([]Grant, 0, len(n.peerIDs)),
+			prevGrant: make([]units.Rate, len(n.peerIDs)),
+			convD:     obs.NewDigest(),
 		}
 		s.applied = s.floor
 		s.fallback = len(n.peerIDs) > 0 // degraded until peers are heard
@@ -330,7 +342,7 @@ func (n *Node) Rebalance(now time.Duration) {
 	for _, id := range n.sharedIDs {
 		s := n.shared[id]
 		allFresh := true
-		var honoredIn units.Rate
+		var honoredIn, peerApplied units.Rate
 		for k, p := range n.peerList {
 			d := &n.demand[k]
 			d.honored = p.fresh(now, n.cfg.Window, mySeq)
@@ -340,6 +352,7 @@ func (n *Node) Rebalance(now time.Duration) {
 			d.observed = 0
 			if pa := p.aggs[id]; pa != nil {
 				d.observed = pa.observed
+				peerApplied += pa.applied
 				if d.honored {
 					honoredIn += pa.grantToMe
 				}
@@ -347,10 +360,41 @@ func (n *Node) Rebalance(now time.Duration) {
 		}
 		// Plan this tick's outbound grants straight into the hold ring.
 		planGrants(s.floor, s.observed, n.demand, s.grantOut, n.tickIdx)
+		// Conformance: grant churn is every (tick, peer) slot whose planned
+		// grant differs from the previous tick's plan — the stability signal
+		// for the grant calculus (a healthy steady state re-plans the same
+		// grants every window).
+		for k := range n.peerIDs {
+			if g := s.grantOut[k*holdTicks+n.tickIdx]; g != s.prevGrant[k] {
+				s.grantChurn++
+				s.prevGrant[k] = g
+			}
+		}
 		held := heldOut(s.grantOut, len(n.peerList))
 		share := applyBound(s.floor, held, honoredIn, s.cfg.Rate)
 		fallback := !allFresh && len(n.peerList) > 0
 		s.grantedIn = honoredIn
+		// Conformance: cluster-wide Σ applied vs the global bound r. Peer
+		// applied values are the newest reported (one exchange window old at
+		// worst for fresh peers, staler across partitions — exactly the
+		// regime where transient overcommit is possible and worth counting).
+		// Tolerance r/1000 forgives float share arithmetic.
+		s.sumApplied = share + peerApplied
+		if s.sumApplied > s.cfg.Rate+s.cfg.Rate/1000 {
+			s.overcommits++
+		}
+		// Conformance: convergence episodes. A share change opens (or
+		// extends) an episode; the first unchanged tick closes it and its
+		// duration enters the convergence digest.
+		if share != s.applied || fallback != s.fallback || !s.synced {
+			if !s.unstable {
+				s.unstable = true
+				s.unstableAt = now
+			}
+		} else if s.unstable {
+			s.unstable = false
+			s.convD.Observe(int64(now - s.unstableAt))
+		}
 		// The first tick applies unconditionally: the engine may still be
 		// enforcing the full global rate from its own configuration, and a
 		// node that starts partitioned would otherwise never pull it down

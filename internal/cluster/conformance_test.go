@@ -1,0 +1,187 @@
+package cluster
+
+// Conformance roll-up tests: the cluster-wide audit figures (Σ applied vs
+// the bound, grant churn, convergence episodes, report staleness) on the
+// same deterministic sim the exchange tests use.
+
+import (
+	"testing"
+	"time"
+)
+
+func nodeAggStatus(t *testing.T, n *Node) AggStatus {
+	t.Helper()
+	st := n.Status()
+	if len(st.Shared) != 1 {
+		t.Fatalf("Status has %d shared aggregates, want 1", len(st.Shared))
+	}
+	return st.Shared[0]
+}
+
+// TestClusterConformanceClean: on a healthy cluster the roll-up shows the
+// invariant holding — Σ applied within the bound, zero overcommit ticks,
+// bounded report staleness — while the convergence-to-steady-state episode
+// and its grant churn are visible in the digest and counter.
+func TestClusterConformanceClean(t *testing.T) {
+	sim := newClusterSim(t, 3, nil)
+	sim.nodes["node-0"].demand = 80e6
+	for i := 0; i < 20; i++ {
+		sim.step()
+		sim.assertInvariant()
+	}
+	for _, id := range sim.ids {
+		a := nodeAggStatus(t, sim.nodes[id].node)
+		if a.Overcommits != 0 {
+			t.Fatalf("%s: clean run counted %d overcommit ticks (sum %.0f vs bound %.0f)",
+				id, a.Overcommits, float64(a.SumApplied), float64(a.Rate))
+		}
+		if float64(a.SumApplied) > float64(a.Rate)*(1+1e-3) {
+			t.Fatalf("%s: rolled-up Σ applied %.0f exceeds bound %.0f",
+				id, float64(a.SumApplied), float64(a.Rate))
+		}
+		if a.SumApplied <= 0 {
+			t.Fatalf("%s: roll-up never populated", id)
+		}
+		if a.GrantChurn == 0 && id != "node-0" {
+			// Surplus nodes replanned grants while budget flowed to node-0.
+			t.Fatalf("%s: no grant churn recorded during convergence", id)
+		}
+		st := sim.nodes[id].node.Status()
+		if st.MaxReportAge < 0 || st.MaxReportAge > 2*simWindow {
+			t.Fatalf("%s: max report age %v, want within two windows", id, st.MaxReportAge)
+		}
+	}
+	// The initial ramp (floor → converged shares) is a closed convergence
+	// episode on the loaded node.
+	if conv := nodeAggStatus(t, sim.nodes["node-0"].node).Convergence; conv.Total() == 0 {
+		t.Fatal("node-0: convergence digest empty after share ramp")
+	}
+}
+
+// TestClusterConformanceOvercommitOnStaleness: partitioning the loaded
+// node leaves its peers holding a stale high applied figure for it while
+// everyone's local share moves — exactly the regime where the true
+// cluster-wide sum is unknowable, and the roll-up must flag the potential
+// overcommit rather than report the stale sum as fine.
+func TestClusterConformanceOvercommitOnStaleness(t *testing.T) {
+	sim := newClusterSim(t, 3, nil)
+	sim.nodes["node-0"].demand = 80e6
+	sim.nodes["node-1"].demand = 5e6
+	sim.nodes["node-2"].demand = 5e6
+	for i := 0; i < 20; i++ {
+		sim.step()
+	}
+	if a := nodeAggStatus(t, sim.nodes["node-0"].node); float64(a.Applied) <= float64(simRate)/3 {
+		t.Fatalf("setup: node-0 share %.0f never rose above the floor", float64(a.Applied))
+	}
+
+	// Partition node-0 both ways. Its peers keep its last report — a high
+	// applied share — while their own shares move through fallback; the sum
+	// they roll up transiently exceeds r, and that must be counted.
+	sim.cutAll("node-0", true, true)
+	for i := 0; i < 12; i++ {
+		sim.step()
+		sim.assertInvariant() // the REAL sum stays within the bound throughout
+	}
+	flagged := false
+	for _, id := range []string{"node-1", "node-2"} {
+		if nodeAggStatus(t, sim.nodes[id].node).Overcommits > 0 {
+			flagged = true
+		}
+	}
+	if !flagged {
+		t.Fatal("no surviving peer flagged the stale-report overcommit window")
+	}
+	// The staleness the roll-up is built on is visible next to it.
+	if st := sim.nodes["node-1"].node.Status(); st.MaxReportAge < 3*simWindow {
+		t.Fatalf("node-1: max report age %v does not reflect the partition", st.MaxReportAge)
+	}
+
+	// Healing reconverges and stops the overcommit count from growing.
+	sim.healAll("node-0")
+	for i := 0; i < 10; i++ {
+		sim.step()
+		sim.assertInvariant()
+	}
+	before := nodeAggStatus(t, sim.nodes["node-1"].node).Overcommits
+	for i := 0; i < 10; i++ {
+		sim.step()
+	}
+	if after := nodeAggStatus(t, sim.nodes["node-1"].node).Overcommits; after != before {
+		t.Fatalf("overcommit ticks still accruing after heal: %d -> %d", before, after)
+	}
+}
+
+// TestClusterConformanceMetricsFamilies: the conformance roll-up exports
+// through MetricFamilies next to the existing exchange families.
+func TestClusterConformanceMetricsFamilies(t *testing.T) {
+	sim := newClusterSim(t, 3, nil)
+	sim.nodes["node-0"].demand = 80e6
+	for i := 0; i < 8; i++ {
+		sim.step()
+	}
+	fams := sim.nodes["node-0"].node.MetricFamilies()
+	byName := map[string]int{}
+	var headroom, bound, sum float64
+	var convSamples int
+	for _, f := range fams {
+		byName[f.Name] = len(f.Samples)
+		switch f.Name {
+		case "bcpqp_cluster_conformance_headroom_bps":
+			headroom = f.Samples[0].Value
+		case "bcpqp_cluster_conformance_bound_bps":
+			bound = f.Samples[0].Value
+		case "bcpqp_cluster_conformance_applied_sum_bps":
+			sum = f.Samples[0].Value
+		case "bcpqp_cluster_convergence_seconds":
+			convSamples = len(f.Samples)
+		}
+	}
+	for name, want := range map[string]int{
+		"bcpqp_cluster_conformance_applied_sum_bps":          1,
+		"bcpqp_cluster_conformance_bound_bps":                1,
+		"bcpqp_cluster_conformance_headroom_bps":             1,
+		"bcpqp_cluster_conformance_overcommit_windows_total": 1,
+		"bcpqp_cluster_grant_churn_total":                    1,
+		"bcpqp_cluster_report_age_max_seconds":               1,
+	} {
+		if byName[name] != want {
+			t.Fatalf("family %s has %d samples, want %d (families: %v)", name, byName[name], want, byName)
+		}
+	}
+	if convSamples != 1 {
+		t.Fatalf("convergence histogram has %d samples, want 1", convSamples)
+	}
+	if bound != float64(simRate) {
+		t.Fatalf("bound gauge = %.0f, want %.0f", bound, float64(simRate))
+	}
+	if got := bound - sum; got != headroom {
+		t.Fatalf("headroom %.0f != bound-sum %.0f", headroom, got)
+	}
+}
+
+// TestClusterConvergenceEpisodeDuration: an isolated share change produces
+// one convergence episode of about one window (change tick → the next
+// unchanged tick), landing in the digest within its relative error.
+func TestClusterConvergenceEpisodeDuration(t *testing.T) {
+	sim := newClusterSim(t, 2, nil)
+	for i := 0; i < 10; i++ { // settle
+		sim.step()
+	}
+	base := nodeAggStatus(t, sim.nodes["node-0"].node).Convergence.Total()
+	sim.nodes["node-0"].demand = 70e6 // shares move, then settle again
+	for i := 0; i < 10; i++ {
+		sim.step()
+	}
+	conv := nodeAggStatus(t, sim.nodes["node-0"].node).Convergence
+	if conv.Total() <= base {
+		t.Fatal("demand shift closed no convergence episode")
+	}
+	// Episodes are whole windows; the longest plausible here is a few.
+	if max := conv.Quantile(1); time.Duration(max) > 8*simWindow {
+		t.Fatalf("convergence episode %v implausibly long", time.Duration(max))
+	}
+	if min := conv.Quantile(0); time.Duration(min) < simWindow/2 {
+		t.Fatalf("convergence episode %v shorter than a window", time.Duration(min))
+	}
+}

@@ -32,6 +32,12 @@ type AggStatus struct {
 	GrantedIn  units.Rate // honored inbound grants at last rebalance
 	GrantedOut units.Rate // budget held back for grantees
 	Fallback   bool       // enforcing the conservative floor (degraded)
+
+	// Conformance roll-up (updated every Rebalance tick).
+	SumApplied  units.Rate         // local share + Σ newest peer-reported applied
+	Overcommits int64              // ticks where SumApplied exceeded Rate (+0.1%)
+	GrantChurn  int64              // (tick, peer) slots whose planned grant changed
+	Convergence obs.DigestSnapshot // share-convergence episode durations, ns
 }
 
 // Status is a point-in-time view of the node for operators.
@@ -45,6 +51,10 @@ type Status struct {
 	BadFrames int64
 	Handoffs  int64
 	Degraded  bool
+	// MaxReportAge is the oldest LastExchangeAge across peers (-1 when no
+	// peer has ever reported): the staleness bound on every cluster-wide
+	// conformance figure derived from peer reports.
+	MaxReportAge time.Duration
 }
 
 // Status captures the node's current exchange state.
@@ -60,10 +70,14 @@ func (n *Node) Status() Status {
 		BadFrames: n.badFrames,
 		Handoffs:  n.handoffs,
 	}
+	st.MaxReportAge = -1
 	for _, p := range n.peerList {
 		age := time.Duration(-1)
 		if p.everHeard {
 			age = now - p.lastHeard
+		}
+		if age > st.MaxReportAge {
+			st.MaxReportAge = age
 		}
 		st.Peers = append(st.Peers, PeerStatus{
 			ID: p.id, State: p.state, LastExchangeAge: age,
@@ -76,7 +90,9 @@ func (n *Node) Status() Status {
 			ID: id, Rate: s.cfg.Rate, Floor: s.floor,
 			Observed: s.observed, Applied: s.applied,
 			GrantedIn: s.grantedIn, GrantedOut: heldOut(s.grantOut, len(n.peerList)),
-			Fallback: s.fallback,
+			Fallback:   s.fallback,
+			SumApplied: s.sumApplied, Overcommits: s.overcommits,
+			GrantChurn: s.grantChurn, Convergence: s.convD.Snapshot(),
 		})
 		if s.fallback {
 			st.Degraded = true
@@ -129,6 +145,27 @@ func (n *Node) MetricFamilies() []obs.Family {
 		Name: "bcpqp_cluster_granted_out_bps", Type: "gauge",
 		Help: "Budget held back for grants ceded to peers, bits/sec.",
 	}
+	sumApplied := obs.Family{
+		Name: "bcpqp_cluster_conformance_applied_sum_bps", Type: "gauge",
+		Help: "Cluster-wide sum of applied shares (local + newest peer reports), bits/sec.",
+	}
+	bound := obs.Family{
+		Name: "bcpqp_cluster_conformance_bound_bps", Type: "gauge",
+		Help: "The shared aggregate's global rate bound r, bits/sec.",
+	}
+	headroom := obs.Family{
+		Name: "bcpqp_cluster_conformance_headroom_bps", Type: "gauge",
+		Help: "Global bound minus the cluster-wide applied sum (negative = overcommitted), bits/sec.",
+	}
+	overcommit := obs.Family{
+		Name: "bcpqp_cluster_conformance_overcommit_windows_total", Type: "counter",
+		Help: "Exchange ticks where the cluster-wide applied sum exceeded the global bound (+0.1% tolerance).",
+	}
+	churn := obs.Family{
+		Name: "bcpqp_cluster_grant_churn_total", Type: "counter",
+		Help: "Per-peer planned-grant changes across rebalance ticks (grant-calculus stability).",
+	}
+	var convAcc obs.DigestSnapshot
 	for _, a := range st.Shared {
 		lbl := []obs.Label{{Name: "aggregate", Value: a.ID}}
 		share.Samples = append(share.Samples, obs.Sample{Labels: lbl, Value: float64(a.Applied)})
@@ -139,6 +176,23 @@ func (n *Node) MetricFamilies() []obs.Family {
 		fallback.Samples = append(fallback.Samples, obs.Sample{Labels: lbl, Value: fb})
 		grantedIn.Samples = append(grantedIn.Samples, obs.Sample{Labels: lbl, Value: float64(a.GrantedIn)})
 		grantedOut.Samples = append(grantedOut.Samples, obs.Sample{Labels: lbl, Value: float64(a.GrantedOut)})
+		sumApplied.Samples = append(sumApplied.Samples, obs.Sample{Labels: lbl, Value: float64(a.SumApplied)})
+		bound.Samples = append(bound.Samples, obs.Sample{Labels: lbl, Value: float64(a.Rate)})
+		headroom.Samples = append(headroom.Samples, obs.Sample{Labels: lbl, Value: float64(a.Rate - a.SumApplied)})
+		overcommit.Samples = append(overcommit.Samples, obs.Sample{Labels: lbl, Value: float64(a.Overcommits)})
+		churn.Samples = append(churn.Samples, obs.Sample{Labels: lbl, Value: float64(a.GrantChurn)})
+		convAcc = convAcc.Merge(a.Convergence)
+	}
+	reportAge := obs.Family{
+		Name: "bcpqp_cluster_report_age_max_seconds", Type: "gauge",
+		Help:    "Age of the stalest peer report feeding the conformance roll-up (-1 before any report).",
+		Samples: []obs.Sample{{Value: st.MaxReportAge.Seconds()}},
+	}
+	convHist := convAcc.Hist(1e-9)
+	convergence := obs.Family{
+		Name: "bcpqp_cluster_convergence_seconds", Type: "histogram",
+		Help:    "Share-convergence episode durations: from a share change to the next unchanged rebalance tick.",
+		Samples: []obs.Sample{{Hist: &convHist}},
 	}
 	hygiene := obs.Family{
 		Name: "bcpqp_cluster_bad_frames_total", Type: "counter",
@@ -151,5 +205,7 @@ func (n *Node) MetricFamilies() []obs.Family {
 		Samples: []obs.Sample{{Value: float64(st.Handoffs)}},
 	}
 	return []obs.Family{peerState, peerAge, peerReports, peerStale,
-		share, fallback, grantedIn, grantedOut, hygiene, handoffs}
+		share, fallback, grantedIn, grantedOut,
+		sumApplied, bound, headroom, overcommit, churn, reportAge, convergence,
+		hygiene, handoffs}
 }

@@ -2,15 +2,17 @@
 // enforcer wrappers for chaos-testing the middlebox runtime.
 //
 // An Injector wraps any enforcer.Enforcer and, driven by an internal/rng
-// stream, injects the four fault classes a production policer must survive:
+// stream, injects the fault classes a production policer must survive:
 //
 //   - panics (the wrapped enforcer "crashes" mid-burst),
 //   - verdict corruption (an out-of-range verdict, as a memory-corrupting
 //     or buggy enforcer would produce),
-//   - processing stalls (the enforcer blocks the shard goroutine), and
+//   - processing stalls (the enforcer blocks the shard goroutine),
 //   - clock skew (the enforcer observes a jumped-forward arrival time;
 //     skew is clamped monotone so the Enforcer contract's non-decreasing
-//     virtual time still holds and only genuinely injected faults fire).
+//     virtual time still holds and only genuinely injected faults fire), and
+//   - over-admission (Drop verdicts flipped to Transmit — the
+//     bound-breaking bug class only a conformance auditor catches).
 //
 // Fault draws are deterministic in (seed, call sequence): the same seed
 // over the same submission sequence injects the same faults, so chaos tests
@@ -74,6 +76,17 @@ type Plan struct {
 	Skew float64
 	// SkewBy is the forward clock jump (default 10ms when Skew > 0).
 	SkewBy time.Duration
+
+	// OverAdmit is the per-call probability of flipping every Drop
+	// verdict of the call to Transmit after the wrapped enforcer ran —
+	// the admission-bound-breaking bug class: a broken enforcer letting
+	// traffic through above its configured rate. Unlike Corrupt (whose
+	// out-of-range verdict the engine coerces to Drop, i.e. an
+	// under-admission), an over-admission is invisible to verdict
+	// validation and only a conformance auditor catches it. The exact
+	// flipped packet and byte counts are recorded so audit tests can
+	// reconcile violations against ground truth.
+	OverAdmit float64
 }
 
 // Injector wraps an enforcer with seeded fault injection. It implements
@@ -92,6 +105,12 @@ type Injector struct {
 	Corruptions atomic.Int64
 	Stalls      atomic.Int64
 	Skews       atomic.Int64
+	// OverAdmits counts calls whose Drop verdicts were flipped;
+	// OverAdmittedPackets/Bytes total exactly what the flips let through
+	// beyond the wrapped enforcer's admissions.
+	OverAdmits          atomic.Int64
+	OverAdmittedPackets atomic.Int64
+	OverAdmittedBytes   atomic.Int64
 }
 
 // New wraps inner with the given fault plan.
@@ -111,7 +130,7 @@ func New(inner enforcer.Enforcer, plan Plan) *Injector {
 
 // Injected returns the total number of faults injected so far.
 func (f *Injector) Injected() int64 {
-	return f.Panics.Load() + f.Corruptions.Load() + f.Stalls.Load() + f.Skews.Load()
+	return f.Panics.Load() + f.Corruptions.Load() + f.Stalls.Load() + f.Skews.Load() + f.OverAdmits.Load()
 }
 
 // Submit enforces one packet through the wrapped enforcer with faults
@@ -122,6 +141,14 @@ func (f *Injector) Submit(now time.Duration, pkt packet.Packet) enforcer.Verdict
 	if f.plan.Corrupt > 0 && f.src.Float64() < f.plan.Corrupt {
 		f.Corruptions.Add(1)
 		v = CorruptVerdict
+	}
+	if f.plan.OverAdmit > 0 && f.src.Float64() < f.plan.OverAdmit {
+		f.OverAdmits.Add(1)
+		if v == enforcer.Drop {
+			f.OverAdmittedPackets.Add(1)
+			f.OverAdmittedBytes.Add(int64(pkt.Size))
+			v = enforcer.Transmit
+		}
 	}
 	return v
 }
@@ -135,6 +162,19 @@ func (f *Injector) SubmitBatch(now time.Duration, pkts []packet.Packet, verdicts
 	if f.plan.Corrupt > 0 && len(verdicts) > 0 && f.src.Float64() < f.plan.Corrupt {
 		f.Corruptions.Add(1)
 		verdicts[f.src.IntN(len(verdicts))] = CorruptVerdict
+	}
+	if f.plan.OverAdmit > 0 && len(verdicts) > 0 && f.src.Float64() < f.plan.OverAdmit {
+		f.OverAdmits.Add(1)
+		var pktsFlipped, bytesFlipped int64
+		for i := range verdicts[:len(pkts)] {
+			if verdicts[i] == enforcer.Drop {
+				verdicts[i] = enforcer.Transmit
+				pktsFlipped++
+				bytesFlipped += int64(pkts[i].Size)
+			}
+		}
+		f.OverAdmittedPackets.Add(pktsFlipped)
+		f.OverAdmittedBytes.Add(bytesFlipped)
 	}
 }
 

@@ -400,6 +400,11 @@ type aggregate struct {
 	// slot recycling under churn can never bleed one incarnation's
 	// counters into the next.
 	obs *obs.AggObs
+
+	// audit is the conformance-audit state (see audit.go); nil when
+	// unarmed. Arming swaps an immutable aggAudit in-band; the datapath
+	// pays one pointer load per enforced run.
+	audit atomic.Pointer[aggAudit]
 }
 
 // burst is one ring slot of work: either a single-aggregate burst (agg set,
@@ -706,8 +711,8 @@ func (e *Engine) enforceRun(s *shard, now time.Duration, agg *aggregate, node en
 		enforcer.SubmitBatch(agg.enf, now, pkts, v)
 	}
 	enforced = true
-	if agg.obs != nil {
-		e.observeRun(s, now, agg, node, pkts, v)
+	if au := agg.audit.Load(); agg.obs != nil || au != nil {
+		e.observeRun(s, now, agg, au, node, pkts, v)
 	}
 	if agg.emit == nil {
 		return nil, false
@@ -731,12 +736,13 @@ func (e *Engine) enforceRun(s *shard, now time.Duration, agg *aggregate, node en
 }
 
 // observeRun tallies one enforced run's verdicts into the aggregate's
-// metrics block and, on the sampling cadence, records a KindBurst trace
-// event. It runs on the shard goroutine inside enforceRun's panic barrier,
-// immediately after the verdicts are written: the tally is a single pass
-// over the verdict slice plus a handful of atomic adds — no per-packet
-// atomics, no interface calls, no allocation.
-func (e *Engine) observeRun(s *shard, now time.Duration, agg *aggregate, node enforcer.NodeID, pkts []packet.Packet, v []enforcer.Verdict) {
+// metrics block, checks the tally against any armed conformance auditors
+// (au, pre-loaded by the caller), and, on the sampling cadence, records a
+// KindBurst trace event. It runs on the shard goroutine inside
+// enforceRun's panic barrier, immediately after the verdicts are written:
+// the tally is a single pass over the verdict slice plus a handful of
+// atomic adds — no per-packet atomics, no interface calls, no allocation.
+func (e *Engine) observeRun(s *shard, now time.Duration, agg *aggregate, au *aggAudit, node enforcer.NodeID, pkts []packet.Packet, v []enforcer.Verdict) {
 	var accPkts, accBytes, drpPkts, drpBytes int64
 	for i, verdict := range v {
 		sz := int64(pkts[i].Size)
@@ -749,7 +755,12 @@ func (e *Engine) observeRun(s *shard, now time.Duration, agg *aggregate, node en
 			drpBytes += sz
 		}
 	}
-	agg.obs.Count(accPkts, accBytes, drpPkts, drpBytes, now)
+	if agg.obs != nil {
+		agg.obs.Count(accPkts, accBytes, drpPkts, drpBytes, now)
+	}
+	if au != nil {
+		e.auditRun(s, now, agg, au, node, accBytes)
+	}
 	if s.obs != nil && s.obs.SampleBurst() {
 		s.obs.Record(obs.Event{
 			Kind: obs.KindBurst,
@@ -1381,19 +1392,38 @@ func (e *Engine) Update(id string, fn func(now time.Duration, enf enforcer.Enfor
 
 // SetRate changes an aggregate's enforced rate in-band, preserving its
 // admission state (see Update). The enforcer must implement
-// enforcer.Reconfigurer; ErrNotReconfigurable otherwise.
+// enforcer.Reconfigurer; ErrNotReconfigurable otherwise. An armed
+// conformance auditor is rebased to the new rate atomically with the
+// enforcer change (same in-band closure, same virtual time), so the
+// audited envelope stays the piecewise Theorem-1 bound across the
+// reconfiguration and never flags the change itself.
 func (e *Engine) SetRate(id string, rate units.Rate) error {
-	err := e.Update(id, func(now time.Duration, enf enforcer.Enforcer) error {
+	agg, err := e.aggByID(id)
+	if err != nil {
+		return err
+	}
+	agg.lastActive.Store(time.Now().UnixNano())
+	var uerr error
+	if cerr := e.controlAgg(agg, func(enf enforcer.Enforcer) {
+		now := e.cfg.Clock()
 		r, ok := enf.(enforcer.Reconfigurer)
 		if !ok {
-			return fmt.Errorf("mbox: aggregate %q (%T): %w", id, enf, ErrNotReconfigurable)
+			uerr = fmt.Errorf("mbox: aggregate %q (%T): %w", id, enf, ErrNotReconfigurable)
+			return
 		}
-		return r.SetRate(now, rate)
-	})
-	if err == nil {
+		if uerr = r.SetRate(now, rate); uerr != nil {
+			return
+		}
+		if au := agg.audit.Load(); au != nil && au.whole != nil {
+			au.whole.Rebase(now, int64(rate))
+		}
+	}); cerr != nil {
+		return cerr
+	}
+	if uerr == nil {
 		e.recordControl(id, obs.KindRateUpdate)
 	}
-	return err
+	return uerr
 }
 
 // SetPolicy changes an aggregate's intra-aggregate rate-sharing policy

@@ -95,6 +95,8 @@ func (e *Engine) Metrics() obs.Snapshot {
 	counter("bcpqp_overloaded_packets_total", "packets shed at full shard rings", float64(e.Overloaded.Load()))
 	counter("bcpqp_control_failovers_total", "control operations that failed over to the priority lane", float64(e.ControlFailovers.Load()))
 	counter("bcpqp_evicted_total", "aggregates evicted by the idle-TTL sweeper", float64(e.Evicted.Load()))
+	counter("bcpqp_inline_bursts_total", "bursts enforced through the ring-bypass fast path", float64(e.InlineBursts.Load()))
+	counter("bcpqp_inline_fallbacks_total", "ring-bypass submissions that fell back to shedding on a wedged shard", float64(e.InlineFallbacks.Load()))
 
 	if p := e.overload; p != nil {
 		active := 0.0
@@ -176,6 +178,8 @@ func (e *Engine) Metrics() obs.Snapshot {
 		fams = append(fams, aggFams[:nFault]...)
 	}
 
+	fams = append(fams, e.auditFamilies(t)...)
+
 	if c := e.cfg.Observer; c != nil {
 		counter("bcpqp_trace_events_total", "flight-recorder events recorded (including overwritten)", float64(c.EventsRecorded()))
 		counter("bcpqp_bursts_enforced_total", "enforced bursts observed across all shards", float64(c.Bursts()))
@@ -186,6 +190,13 @@ func (e *Engine) Metrics() obs.Snapshot {
 			Type:    "histogram",
 			Samples: []obs.Sample{{Hist: &h}},
 		})
+		ld := c.BurstLatencyDigest().Hist(1e-9)
+		fams = append(fams, obs.Family{
+			Name:    "bcpqp_burst_enforce_latency_digest_seconds",
+			Help:    "per-burst enforcement latency as a mergeable relative-error quantile digest",
+			Type:    "histogram",
+			Samples: []obs.Sample{{Hist: &ld}},
+		})
 	}
 
 	e.extraMu.Lock()
@@ -195,6 +206,79 @@ func (e *Engine) Metrics() obs.Snapshot {
 		fams = append(fams, src()...)
 	}
 	return obs.Snapshot{Families: fams}
+}
+
+// auditFamilies builds the conformance-audit metric families: one sample
+// per armed auditor (whole-aggregate envelopes labelled {aggregate},
+// per-node envelopes {aggregate,node,path}) plus the slack and rate-error
+// quantile digests merged across every armed auditor. Empty when nothing
+// is armed, so unaudited deployments pay nothing in exposition size.
+func (e *Engine) auditFamilies(t *registry) []obs.Family {
+	af := []obs.Family{
+		{Name: "bcpqp_conformance_violations_total", Help: "audited runs that breached the Theorem-1 envelope r*dt+B", Type: "counter"},
+		{Name: "bcpqp_conformance_envelope_bps", Help: "audited envelope rate", Type: "gauge"},
+		{Name: "bcpqp_conformance_allowed_bytes_total", Help: "allowance accrued by the audited envelope, excluding the burst term", Type: "counter"},
+		{Name: "bcpqp_conformance_accepted_bytes_total", Help: "bytes accepted under audit", Type: "counter"},
+		{Name: "bcpqp_conformance_slack_bytes", Help: "current envelope slack including the burst allowance (negative = in breach)", Type: "gauge"},
+		{Name: "bcpqp_conformance_min_slack_bytes", Help: "worst envelope slack ever observed", Type: "gauge"},
+		{Name: "bcpqp_conformance_max_deficit_bytes", Help: "deepest envelope breach observed", Type: "gauge"},
+		{Name: "bcpqp_conformance_windows_total", Help: "completed rate-error measurement windows with traffic", Type: "counter"},
+	}
+	slackAcc, errAcc := obs.NewDigest(), obs.NewDigest()
+	armed := 0
+	add := func(lbl []obs.Label, a *obs.Audit) {
+		armed++
+		c := a.Snapshot()
+		a.MergeSlack(slackAcc)
+		a.MergeRateErr(errAcc)
+		vals := []float64{
+			float64(c.Violations), float64(c.RateBps),
+			float64(c.AllowedBytes), float64(c.AcceptedBytes),
+			float64(c.SlackBytes), float64(c.MinSlackBytes),
+			float64(c.MaxDeficit), float64(c.Windows),
+		}
+		for j := range vals {
+			af[j].Samples = append(af[j].Samples, obs.Sample{Labels: lbl, Value: vals[j]})
+		}
+	}
+	for _, agg := range t.slots {
+		if agg == nil {
+			continue
+		}
+		au := agg.audit.Load()
+		if au == nil {
+			continue
+		}
+		if au.whole != nil {
+			add([]obs.Label{{Name: "aggregate", Value: agg.id}}, au.whole)
+		}
+		for n, a := range au.nodes {
+			if a == nil {
+				continue
+			}
+			lbl := []obs.Label{
+				{Name: "aggregate", Value: agg.id},
+				{Name: "node", Value: strconv.Itoa(n)},
+			}
+			if agg.tree != nil {
+				lbl = append(lbl, obs.Label{Name: "path", Value: nodePath(agg.tree, enforcer.NodeID(n))})
+			}
+			add(lbl, a)
+		}
+	}
+	if armed == 0 {
+		return nil
+	}
+	sh := slackAcc.Snapshot().Hist(1)
+	eh := errAcc.Snapshot().Hist(1)
+	return append(af,
+		obs.Family{Name: "bcpqp_conformance_slack_distribution_bytes",
+			Help: "per-run envelope slack across all armed auditors (breaching runs record 0)",
+			Type: "histogram", Samples: []obs.Sample{{Hist: &sh}}},
+		obs.Family{Name: "bcpqp_conformance_rate_error_permille",
+			Help: "per-window absolute rate error across all armed auditors, permille of the enforced rate",
+			Type: "histogram", Samples: []obs.Sample{{Hist: &eh}}},
+	)
 }
 
 // AttachMetricSource registers an additional metric-family source whose

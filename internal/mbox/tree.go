@@ -186,15 +186,38 @@ func (e *Engine) UpdateNode(id string, node enforcer.NodeID, fn func(now time.Du
 }
 
 // SetNodeRate changes one tree node's ceiling rate in-band, preserving its
-// admission state (see UpdateNode).
+// admission state (see UpdateNode). An armed per-node conformance auditor
+// is rebased to the new rate atomically with the node change (same in-band
+// closure, same virtual time), preserving the piecewise per-node bound.
 func (e *Engine) SetNodeRate(id string, node enforcer.NodeID, rate units.Rate) error {
-	err := e.UpdateNode(id, node, func(now time.Duration, r enforcer.Reconfigurer) error {
-		return r.SetRate(now, rate)
-	})
-	if err == nil {
+	agg, err := e.aggByID(id)
+	if err != nil {
+		return err
+	}
+	agg.lastActive.Store(time.Now().UnixNano())
+	var uerr error
+	if cerr := e.controlAgg(agg, func(enforcer.Enforcer) {
+		r, rerr := nodeReconfigurer(agg, node)
+		if rerr != nil {
+			uerr = rerr
+			return
+		}
+		now := e.cfg.Clock()
+		if uerr = r.SetRate(now, rate); uerr != nil {
+			return
+		}
+		if au := agg.audit.Load(); au != nil && int(node) >= 0 && int(node) < len(au.nodes) {
+			if a := au.nodes[node]; a != nil {
+				a.Rebase(now, int64(rate))
+			}
+		}
+	}); cerr != nil {
+		return cerr
+	}
+	if uerr == nil {
 		e.recordControlNode(id, node, obs.KindRateUpdate)
 	}
-	return err
+	return uerr
 }
 
 // SetNodePolicy changes one tree node's rate-sharing policy in-band,

@@ -1,0 +1,65 @@
+//go:build linux
+
+package netio
+
+import (
+	"bytes"
+	"os"
+	"strconv"
+	"syscall"
+)
+
+// KernelDrops reads the kernel's receive-drop counter for this socket: the
+// datagrams the NIC delivered but the kernel discarded because the socket
+// buffer was full — packets the datapath never saw and no engine counter
+// can account for. Reconciling it against the engine's received totals is
+// the only way to tell "the offered load was lower" from "we were too slow
+// to drain the ring".
+//
+// The counter is the drops column of /proc/net/udp{,6}, matched to this
+// socket by inode. ok=false when the socket row cannot be found (socket
+// closed, /proc unavailable, non-UDP).
+func (c *Conn) KernelDrops() (int64, bool) {
+	sc, err := c.pc.SyscallConn()
+	if err != nil {
+		return 0, false
+	}
+	var ino uint64
+	var statErr error
+	if err := sc.Control(func(fd uintptr) {
+		var st syscall.Stat_t
+		statErr = syscall.Fstat(int(fd), &st)
+		ino = st.Ino
+	}); err != nil || statErr != nil {
+		return 0, false
+	}
+	for _, table := range []string{"/proc/net/udp", "/proc/net/udp6"} {
+		if d, ok := scanSockTable(table, ino); ok {
+			return d, true
+		}
+	}
+	return 0, false
+}
+
+// scanSockTable finds the row with the given inode in a /proc/net socket
+// table and returns its trailing drops column.
+func scanSockTable(path string, ino uint64) (int64, bool) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, false
+	}
+	want := strconv.FormatUint(ino, 10)
+	for _, line := range bytes.Split(data, []byte("\n"))[1:] {
+		f := bytes.Fields(line)
+		// sl local rem st queues timers retrnsmt uid timeout inode ref ptr drops
+		if len(f) < 13 || string(f[9]) != want {
+			continue
+		}
+		d, err := strconv.ParseInt(string(f[len(f)-1]), 10, 64)
+		if err != nil {
+			return 0, false
+		}
+		return d, true
+	}
+	return 0, false
+}

@@ -1,0 +1,29 @@
+//go:build linux
+
+package netio
+
+import "testing"
+
+// TestKernelDropsReadable pins that a live UDP socket's drop counter can be
+// located in /proc/net/udp{,6} by inode — a fresh socket must report ok=true
+// with zero drops, for both backends. Off-Linux the method compiles to
+// (0, false) and this file does not build.
+func TestKernelDropsReadable(t *testing.T) {
+	for _, cfg := range []Config{{Batch: 8}, {Batch: 8, ForceSingle: true}} {
+		c, err := Listen("127.0.0.1:0", cfg)
+		if err != nil {
+			t.Fatalf("Listen: %v", err)
+		}
+		d, ok := c.KernelDrops()
+		if !ok {
+			t.Errorf("ForceSingle=%v: KernelDrops ok=false for a live socket", cfg.ForceSingle)
+		}
+		if d != 0 {
+			t.Errorf("ForceSingle=%v: fresh socket reports %d kernel drops, want 0", cfg.ForceSingle, d)
+		}
+		c.Close()
+		if _, ok := c.KernelDrops(); ok {
+			t.Errorf("ForceSingle=%v: KernelDrops ok=true after Close", cfg.ForceSingle)
+		}
+	}
+}

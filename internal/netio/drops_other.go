@@ -1,0 +1,8 @@
+//go:build !linux
+
+package netio
+
+// KernelDrops is unavailable off Linux: there is no portable per-socket
+// receive-drop counter. Callers treat ok=false as "reconciliation not
+// possible", not as zero drops.
+func (c *Conn) KernelDrops() (int64, bool) { return 0, false }

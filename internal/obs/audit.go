@@ -1,0 +1,275 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+
+	"bcpqp/internal/metrics"
+)
+
+// Audit is one live Theorem-1 conformance auditor: it tracks cumulative
+// accepted bytes against the piecewise admission envelope
+//
+//	accepted(t) ≤ base + r·(t − t_rebase) + B
+//
+// where base is the allowance accrued before the last rate change, r the
+// currently enforced rate and B the declared burst allowance. Rate and
+// policy changes Rebase the envelope — allowance accrued under the old
+// rate is kept, new allowance accrues at the new rate — which is exactly
+// the piecewise bound the engine's in-band reconfiguration lane preserves,
+// so a conformant enforcer never trips the auditor no matter how often it
+// is reconfigured.
+//
+// Concurrency contract: Observe and Rebase are single-writer — the mbox
+// engine calls both on the aggregate's owning shard goroutine (rebases
+// ride the in-band control lane), so the envelope arithmetic needs no
+// synchronization. Every exported counter is mirrored into an atomic by
+// that single writer, so metric scrapes read a consistent recent view
+// from any goroutine without stopping the datapath. Both paths are
+// allocation-free.
+//
+// The allowance accrual is exact integer arithmetic: bits/sec × ns
+// products run through 128-bit mul/div with the sub-byte remainder carried
+// between calls, so a shadow auditor fed the same (now, bytes) sequence
+// reproduces the same violation count bit-for-bit — that is what lets
+// chaos tests reconcile violations EXACTLY against injected ground truth.
+type Audit struct {
+	// Single-writer envelope state.
+	rateBps int64         // currently enforced rate, bits/sec
+	burst   int64         // burst allowance B, bytes
+	lastAdv time.Duration // virtual time the allowance last accrued to
+	frac    uint64        // sub-byte allowance remainder, in bit·ns (< envDen)
+	allowed int64         // accrued allowance bytes since arming (excl. burst)
+	accept  int64         // accepted bytes since arming
+
+	minSlack   int64
+	maxDeficit int64
+	violations int64
+
+	// Windowed rate error (|observed − r| per completed measurement
+	// window, in permille of r).
+	window   time.Duration
+	winStart time.Duration
+	winBytes int64
+	windows  int64
+
+	// Export mirrors, written only by the owning shard goroutine.
+	m struct {
+		rateBps, allowed, accept       atomic.Int64
+		minSlack, maxDeficit           atomic.Int64
+		violations, windows, lastAdvNs atomic.Int64
+	}
+
+	slackD *Digest // slack bytes at each audited run (clamped at 0)
+	errD   *Digest // |rate error| per completed window, permille of r
+}
+
+// envDen converts bits/sec × ns products to bytes: 8 bits per byte times
+// 1e9 ns per second.
+const envDen = 8 * 1_000_000_000
+
+// NewAudit returns an auditor armed at virtual time now with the given
+// envelope. window is the rate-error measurement window (≤ 0 applies the
+// paper's 250 ms).
+func NewAudit(now time.Duration, rateBps, burstBytes int64, window time.Duration) *Audit {
+	if window <= 0 {
+		window = metrics.DefaultWindow
+	}
+	a := &Audit{
+		rateBps:  rateBps,
+		burst:    burstBytes,
+		lastAdv:  now,
+		minSlack: math.MaxInt64,
+		window:   window,
+		winStart: now,
+		slackD:   NewDigest(),
+		errD:     NewDigest(),
+	}
+	a.m.rateBps.Store(rateBps)
+	a.m.minSlack.Store(math.MaxInt64)
+	a.m.lastAdvNs.Store(int64(now))
+	return a
+}
+
+// advance accrues allowance to now: allowed += r·Δt exactly, carrying the
+// sub-byte remainder. Saturates at MaxInt64 (an unbounded envelope) rather
+// than wrapping.
+func (a *Audit) advance(now time.Duration) {
+	dt := now - a.lastAdv
+	if dt <= 0 {
+		return
+	}
+	a.lastAdv = now
+	if a.rateBps <= 0 || a.allowed == math.MaxInt64 {
+		return
+	}
+	hi, lo := bits.Mul64(uint64(a.rateBps), uint64(dt))
+	var carry uint64
+	lo, carry = bits.Add64(lo, a.frac, 0)
+	hi += carry
+	if hi >= envDen {
+		a.allowed = math.MaxInt64 // > 2^63 bytes of allowance: saturate
+		a.frac = 0
+		return
+	}
+	quo, rem := bits.Div64(hi, lo, envDen)
+	if quo > uint64(math.MaxInt64-a.allowed) {
+		a.allowed = math.MaxInt64
+		a.frac = 0
+		return
+	}
+	a.allowed += int64(quo)
+	a.frac = rem
+}
+
+// Observe folds one enforced run's accepted bytes into the auditor at
+// virtual time now and returns the envelope deficit: 0 when the run is
+// conformant, accepted − (allowance + B) when it breaches. Each breaching
+// run counts exactly one violation.
+func (a *Audit) Observe(now time.Duration, accBytes int64) (deficit int64) {
+	a.advance(now)
+	a.accept += accBytes
+	slack := a.allowed - a.accept
+	if a.burst > 0 {
+		// Saturating add: allowed may be pinned at MaxInt64.
+		if s := slack + a.burst; s > slack {
+			slack = s
+		} else {
+			slack = math.MaxInt64
+		}
+	}
+	if slack < a.minSlack {
+		a.minSlack = slack
+		a.m.minSlack.Store(slack)
+	}
+	if slack < 0 {
+		deficit = -slack
+		a.violations++
+		a.m.violations.Store(a.violations)
+		if deficit > a.maxDeficit {
+			a.maxDeficit = deficit
+			a.m.maxDeficit.Store(deficit)
+		}
+		a.slackD.Observe(0)
+	} else {
+		a.slackD.Observe(slack)
+	}
+
+	// Rate-error windows: close the current window once now passes its
+	// end (a run landing exactly on the boundary still belongs to the
+	// closing window); idle gaps (several windows with no audited runs)
+	// collapse into one close so the loop is O(1) per run.
+	if now-a.winStart > a.window {
+		if a.winBytes > 0 && a.rateBps > 0 {
+			// winBytes·8e9 / windowNs = observed bits/sec over the window.
+			obsBps, _ := mulDivI(a.winBytes, envDen, int64(a.window))
+			errBps := obsBps - a.rateBps
+			if errBps < 0 {
+				errBps = -errBps
+			}
+			if pm, ok := mulDivI(errBps, 1000, a.rateBps); ok {
+				a.errD.Observe(pm)
+			}
+			a.windows++
+			a.m.windows.Store(a.windows)
+		}
+		skip := (now - a.winStart) / a.window
+		a.winStart += skip * a.window
+		a.winBytes = 0
+	}
+	a.winBytes += accBytes
+
+	a.m.allowed.Store(a.allowed)
+	a.m.accept.Store(a.accept)
+	a.m.lastAdvNs.Store(int64(now))
+	return deficit
+}
+
+// mulDivI computes a*b/c in 128-bit intermediate precision for
+// non-negative operands; ok=false when the quotient overflows int64.
+func mulDivI(a, b, c int64) (int64, bool) {
+	if a < 0 || b < 0 || c <= 0 {
+		return 0, false
+	}
+	hi, lo := bits.Mul64(uint64(a), uint64(b))
+	if hi >= uint64(c) {
+		return 0, false
+	}
+	quo, _ := bits.Div64(hi, lo, uint64(c))
+	if quo > math.MaxInt64 {
+		return 0, false
+	}
+	return int64(quo), true
+}
+
+// Rebase pins the envelope to a new rate at virtual time now: allowance
+// accrued so far is kept and future allowance accrues at the new rate —
+// the piecewise Theorem-1 bound across a live reconfiguration. The burst
+// allowance is unchanged.
+func (a *Audit) Rebase(now time.Duration, rateBps int64) {
+	a.advance(now)
+	a.rateBps = rateBps
+	a.m.rateBps.Store(rateBps)
+	a.m.lastAdvNs.Store(int64(now))
+}
+
+// AuditCounters is a point-in-time copy of an auditor's exported state,
+// as of the last audited run (the envelope is not extrapolated to the
+// reader's clock — LastObserve says how fresh it is).
+type AuditCounters struct {
+	RateBps       int64
+	BurstBytes    int64
+	AllowedBytes  int64 // accrued r·Δt allowance since arming, excl. burst
+	AcceptedBytes int64
+	SlackBytes    int64 // allowance + B − accepted; negative = in breach
+	MinSlackBytes int64 // worst (smallest) slack ever observed
+	MaxDeficit    int64 // worst breach depth, bytes
+	Violations    int64 // audited runs that breached the envelope
+	Windows       int64 // completed rate-error windows with traffic
+	LastObserve   time.Duration
+}
+
+// Snapshot copies the exported counters. Safe from any goroutine.
+func (a *Audit) Snapshot() AuditCounters {
+	allowed := a.m.allowed.Load()
+	accepted := a.m.accept.Load()
+	slack := allowed - accepted
+	if b := a.burst; b > 0 {
+		if s := slack + b; s > slack {
+			slack = s
+		} else {
+			slack = math.MaxInt64
+		}
+	}
+	minSlack := a.m.minSlack.Load()
+	if minSlack == math.MaxInt64 {
+		minSlack = slack // nothing audited yet: report the standing slack
+	}
+	return AuditCounters{
+		RateBps:       a.m.rateBps.Load(),
+		BurstBytes:    a.burst,
+		AllowedBytes:  allowed,
+		AcceptedBytes: accepted,
+		SlackBytes:    slack,
+		MinSlackBytes: minSlack,
+		MaxDeficit:    a.m.maxDeficit.Load(),
+		Violations:    a.m.violations.Load(),
+		Windows:       a.m.windows.Load(),
+		LastObserve:   time.Duration(a.m.lastAdvNs.Load()),
+	}
+}
+
+// SlackDigest snapshots the distribution of per-run envelope slack
+// (bytes, clamped at 0 for breaching runs).
+func (a *Audit) SlackDigest() DigestSnapshot { return a.slackD.Snapshot() }
+
+// RateErrDigest snapshots the distribution of per-window rate error
+// (permille of the enforced rate).
+func (a *Audit) RateErrDigest() DigestSnapshot { return a.errD.Snapshot() }
+
+// MergeSlack / MergeRateErr fold this auditor's digests into acc for
+// engine-wide roll-ups.
+func (a *Audit) MergeSlack(acc *Digest)   { acc.Merge(a.slackD) }
+func (a *Audit) MergeRateErr(acc *Digest) { acc.Merge(a.errD) }

@@ -102,6 +102,7 @@ func (c *Collector) Shard(i int) *ShardObs {
 			shard: int32(len(c.shards)),
 			ring:  NewRing(c.opts.RingDepth),
 			hist:  NewHist(),
+			lat:   NewDigest(),
 		})
 	}
 	return c.shards[i]
@@ -135,6 +136,21 @@ func (c *Collector) BurstHist() HistSnapshot {
 	return merged.Snapshot()
 }
 
+// BurstLatencyDigest returns the per-shard burst-enforcement-latency
+// quantile digests (nanoseconds) merged into one mergeable snapshot — the
+// sketch counterpart of BurstHist, suitable for cross-process roll-up via
+// the BQAD wire form.
+func (c *Collector) BurstLatencyDigest() DigestSnapshot {
+	c.mu.Lock()
+	shards := append([]*ShardObs(nil), c.shards...)
+	c.mu.Unlock()
+	merged := NewDigest()
+	for _, s := range shards {
+		merged.Merge(s.lat)
+	}
+	return merged.Snapshot()
+}
+
 // Bursts returns the total number of enforced bursts observed across all
 // shards.
 func (c *Collector) Bursts() int64 {
@@ -163,6 +179,7 @@ type ShardObs struct {
 	shard int32
 	ring  *Ring
 	hist  *Hist
+	lat   *Digest
 
 	bursts atomic.Int64
 	// tick is the burst-trace sampling countdown. It is only touched by
@@ -195,6 +212,7 @@ func (s *ShardObs) SampleBurst() bool {
 func (s *ShardObs) ObserveBurst(elapsed int64) {
 	s.bursts.Add(1)
 	s.hist.Observe(elapsed)
+	s.lat.Observe(elapsed)
 }
 
 // AggObs is one aggregate's metric block: monotonic accept/drop counters

@@ -1,0 +1,272 @@
+package obs
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/bits"
+	"sync/atomic"
+)
+
+// Digest is a fixed-size, mergeable, relative-error quantile sketch over
+// non-negative int64 values (bytes, nanoseconds, permille — the unit is the
+// caller's). It is the DDSketch shape adapted to the repo's log-linear
+// histogram idiom: values 0..15 get exact buckets, every later power-of-two
+// octave is split into 8 linear sub-buckets, so any quantile read off a
+// bucket's upper bound overestimates the true value by at most 1/8 (12.5%)
+// relative error, at any scale, from 16 up to MaxInt64.
+//
+// Observe is lock-free and allocation-free (one bucket index computation
+// via bits.Len64 plus three atomic adds), so audits can feed a digest once
+// per enforced run on the hot path. Snapshots read the atomic buckets
+// without stopping writers — like the flight-recorder rings, a snapshot
+// racing writers is internally consistent enough for export (a bucket may
+// trail an in-flight observation). Merging is bucket-wise integer
+// addition, which makes it exactly associative and commutative: per-shard,
+// per-aggregate and per-node digests roll up in any order to the same
+// result, and the BQAD wire form lets digests merge across processes.
+type Digest struct {
+	counts [digestBuckets]atomic.Uint64
+	sum    atomic.Int64
+}
+
+// Digest geometry: 16 exact buckets for 0..15, then (64-4)=60 octaves of 8
+// sub-buckets covering [16, MaxInt64]. Bit length 5..63 → 59 octaves; bit
+// length 64 cannot occur for a non-negative int64.
+const (
+	digestExact   = 16                         // exact buckets 0..15
+	digestSub     = 8                          // linear sub-buckets per octave
+	digestSubBits = 3                          // log2(digestSub)
+	digestBuckets = digestExact + 59*digestSub // 488
+)
+
+// NewDigest returns an empty digest.
+func NewDigest() *Digest { return &Digest{} }
+
+// digestIdx maps a value to its bucket (negatives clamp to 0).
+func digestIdx(v int64) int {
+	if v < digestExact {
+		if v < 0 {
+			return 0
+		}
+		return int(v)
+	}
+	u := uint64(v)
+	l := bits.Len64(u) // ≥ 5 here, ≤ 63 for int64
+	sub := int(u>>(l-1-digestSubBits)) & (digestSub - 1)
+	return digestExact + (l-5)*digestSub + sub
+}
+
+// digestBound returns the inclusive upper bound of bucket idx.
+func digestBound(idx int) int64 {
+	if idx < digestExact {
+		return int64(idx)
+	}
+	l := (idx-digestExact)/digestSub + 5
+	sub := (idx - digestExact) % digestSub
+	lo := int64(1) << (l - 1)
+	step := int64(1) << (l - 1 - digestSubBits)
+	return lo + int64(sub+1)*step - 1 // idx 487 lands exactly on MaxInt64
+}
+
+// Observe records one value (negatives clamp to zero).
+func (d *Digest) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	d.counts[digestIdx(v)].Add(1)
+	d.sum.Add(v)
+}
+
+// Merge adds other's counts into d.
+func (d *Digest) Merge(other *Digest) {
+	if other == nil {
+		return
+	}
+	for i := range other.counts {
+		if n := other.counts[i].Load(); n > 0 {
+			d.counts[i].Add(n)
+		}
+	}
+	d.sum.Add(other.sum.Load())
+}
+
+// Snapshot copies the digest. Total is computed from the copied buckets, so
+// a snapshot is always self-consistent (Quantile never chases a count that
+// is not in a bucket).
+func (d *Digest) Snapshot() DigestSnapshot {
+	s := DigestSnapshot{Counts: make([]uint64, digestBuckets), Sum: d.sum.Load()}
+	for i := range d.counts {
+		s.Counts[i] = d.counts[i].Load()
+	}
+	return s
+}
+
+// DigestSnapshot is a point-in-time copy of a Digest in export form.
+// Counts are per-bucket; Sum is the running sum of observed values (for
+// means). The zero value is an empty digest.
+type DigestSnapshot struct {
+	Counts []uint64
+	Sum    int64
+}
+
+// Total returns the number of observations in the snapshot.
+func (s DigestSnapshot) Total() uint64 {
+	var n uint64
+	for _, c := range s.Counts {
+		n += c
+	}
+	return n
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) as the matching bucket's
+// inclusive upper bound: an overestimate by at most 12.5% of the true
+// value. It returns 0 for an empty digest.
+func (s DigestSnapshot) Quantile(q float64) int64 {
+	total := s.Total()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := uint64(q * float64(total))
+	if target >= total {
+		target = total - 1 // q=1 selects the last populated bucket
+	}
+	var cum uint64
+	for i, c := range s.Counts {
+		cum += c
+		if cum > target {
+			return digestBound(i)
+		}
+	}
+	return digestBound(len(s.Counts) - 1)
+}
+
+// Merge returns a new snapshot holding the bucket-wise sum of s and other.
+// Integer bucket addition makes the operation exactly associative and
+// commutative, which TestDigestMergeAssociativity pins.
+func (s DigestSnapshot) Merge(other DigestSnapshot) DigestSnapshot {
+	out := DigestSnapshot{Counts: make([]uint64, digestBuckets), Sum: s.Sum + other.Sum}
+	for i := range out.Counts {
+		if i < len(s.Counts) {
+			out.Counts[i] += s.Counts[i]
+		}
+		if i < len(other.Counts) {
+			out.Counts[i] += other.Counts[i]
+		}
+	}
+	return out
+}
+
+// Hist converts the snapshot to a Prometheus-exportable histogram with
+// bucket bounds scaled by scale (e.g. 1e-9 to export nanosecond
+// observations in seconds, 1 for bytes). The last populated bucket bounds
+// the export; WritePrometheus elides the all-zero tail.
+func (s DigestSnapshot) Hist(scale float64) HistSnapshot {
+	h := HistSnapshot{
+		Bounds: make([]float64, digestBuckets),
+		Counts: make([]uint64, digestBuckets+1),
+		Sum:    float64(s.Sum) * scale,
+		Count:  s.Total(),
+	}
+	for i := 0; i < digestBuckets; i++ {
+		h.Bounds[i] = float64(digestBound(i)) * scale
+		if i < len(s.Counts) {
+			h.Counts[i] = s.Counts[i]
+		}
+	}
+	return h
+}
+
+// BQAD wire form: a compact, validated binary encoding so digests can be
+// shipped between processes (the /debug/audit endpoint serves it) and
+// merged off-box. Framing follows the repo's snapshot codecs (BQSN/BQXC):
+// a magic, a version, then length-prefixed content — and the decoder is
+// fuzzed (FuzzAuditDigestDecode) to hold the same contract: arbitrary
+// bytes never panic and never allocate beyond the fixed bucket count.
+//
+//	"BQAD" | u8 version | i64 sum | u16 npairs | npairs × (u16 idx, u64 count)
+//
+// Pairs carry only the non-zero buckets in strictly increasing index
+// order; all integers are big-endian.
+const (
+	digestMagic   = "BQAD"
+	digestVersion = 1
+)
+
+// Encode serializes the snapshot in the BQAD wire form.
+func (s DigestSnapshot) Encode() []byte {
+	var pairs int
+	for _, c := range s.Counts {
+		if c > 0 {
+			pairs++
+		}
+	}
+	out := make([]byte, 0, len(digestMagic)+1+8+2+pairs*10)
+	out = append(out, digestMagic...)
+	out = append(out, digestVersion)
+	out = binary.BigEndian.AppendUint64(out, uint64(s.Sum))
+	out = binary.BigEndian.AppendUint16(out, uint16(pairs))
+	for i, c := range s.Counts {
+		if c == 0 {
+			continue
+		}
+		out = binary.BigEndian.AppendUint16(out, uint16(i))
+		out = binary.BigEndian.AppendUint64(out, c)
+	}
+	return out
+}
+
+// DecodeDigest parses a BQAD frame. Every structural violation — bad
+// magic or version, truncated or oversized frame, out-of-range or
+// non-increasing bucket indices, zero counts, a total that overflows —
+// is rejected with an error; the allocation is bounded by the fixed
+// bucket count regardless of input.
+func DecodeDigest(b []byte) (DigestSnapshot, error) {
+	const header = len(digestMagic) + 1 + 8 + 2
+	if len(b) < header {
+		return DigestSnapshot{}, fmt.Errorf("obs: digest frame too short (%d bytes)", len(b))
+	}
+	if string(b[:len(digestMagic)]) != digestMagic {
+		return DigestSnapshot{}, fmt.Errorf("obs: bad digest magic %q", b[:len(digestMagic)])
+	}
+	if v := b[len(digestMagic)]; v != digestVersion {
+		return DigestSnapshot{}, fmt.Errorf("obs: unsupported digest version %d", v)
+	}
+	sum := int64(binary.BigEndian.Uint64(b[len(digestMagic)+1:]))
+	pairs := int(binary.BigEndian.Uint16(b[len(digestMagic)+9:]))
+	if pairs > digestBuckets {
+		return DigestSnapshot{}, fmt.Errorf("obs: digest frame claims %d buckets (max %d)", pairs, digestBuckets)
+	}
+	if len(b) != header+pairs*10 {
+		return DigestSnapshot{}, fmt.Errorf("obs: digest frame length %d, want %d", len(b), header+pairs*10)
+	}
+	s := DigestSnapshot{Counts: make([]uint64, digestBuckets), Sum: sum}
+	prev := -1
+	var total uint64
+	for p := 0; p < pairs; p++ {
+		off := header + p*10
+		idx := int(binary.BigEndian.Uint16(b[off:]))
+		c := binary.BigEndian.Uint64(b[off+2:])
+		if idx >= digestBuckets {
+			return DigestSnapshot{}, fmt.Errorf("obs: digest bucket index %d out of range", idx)
+		}
+		if idx <= prev {
+			return DigestSnapshot{}, fmt.Errorf("obs: digest bucket index %d not increasing", idx)
+		}
+		if c == 0 {
+			return DigestSnapshot{}, fmt.Errorf("obs: digest bucket %d has zero count", idx)
+		}
+		if total+c < total {
+			return DigestSnapshot{}, fmt.Errorf("obs: digest total overflows")
+		}
+		total += c
+		prev = idx
+		s.Counts[idx] = c
+	}
+	return s, nil
+}

@@ -84,6 +84,13 @@ const (
 	// and 0 on deactivation, B = the composite pressure in milli-units,
 	// C = the shed-rate EWMA in packets/sec at the transition.
 	KindOverload
+	// KindViolation is a conformance-audit envelope breach: the audited
+	// aggregate (or tree node, when Node ≥ 0) accepted more bytes than the
+	// Theorem-1 bound r·Δt + B allows. A = the deficit in bytes, B = the
+	// audited envelope rate in bits per second, C = cumulative accepted
+	// bytes at the breach. Coalesced at the burst-sampling cadence under a
+	// sustained breach (the first violation always records).
+	KindViolation
 )
 
 // String names the event kind for dumps and logs.
@@ -123,6 +130,8 @@ func (k Kind) String() string {
 		return "share-apply"
 	case KindOverload:
 		return "overload"
+	case KindViolation:
+		return "violation"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}

@@ -83,6 +83,11 @@ const (
 	// (A=0); B=composite pressure in milli-units, C=shed-rate EWMA in
 	// packets/sec.
 	TraceOverload = obs.KindOverload
+	// TraceViolation: an armed conformance auditor caught accepted bytes
+	// exceeding the declared r·Δt + B envelope (A=deficit bytes,
+	// B=envelope rate in bits/sec, C=cumulative accepted bytes).
+	// Coalesced at the burst-sampling cadence while a breach persists.
+	TraceViolation = obs.KindViolation
 )
 
 // DropReason qualifies a TraceDrop event (carried in its C field): the
@@ -105,6 +110,30 @@ type MetricsSnapshot = obs.Snapshot
 
 // MetricsFamily is one metric family within a MetricsSnapshot.
 type MetricsFamily = obs.Family
+
+// MetricsSample is one labeled sample within a MetricsFamily; MetricsLabel
+// is one of its label pairs. Exported so embedders can build families for
+// Middlebox.AttachMetricSource without importing internal packages.
+type (
+	MetricsSample = obs.Sample
+	MetricsLabel  = obs.Label
+)
+
+// AuditEntry is one armed conformance auditor's state from
+// Middlebox.AuditReport: identity (aggregate, node, label), exact envelope
+// counters, and the slack / rate-error distributions.
+type AuditEntry = mbox.AuditEntry
+
+// AuditCounters is the exact counter block of one conformance auditor —
+// allowed vs accepted bytes, worst slack and deficit, violation and
+// window counts.
+type AuditCounters = obs.AuditCounters
+
+// DigestSnapshot is a point-in-time copy of a mergeable log-bucket
+// quantile digest (burst-latency, slack, rate-error distributions). Merge
+// is exact and associative; Quantile carries the digest's ≤12.5% relative
+// error.
+type DigestSnapshot = obs.DigestSnapshot
 
 // Observe attaches a new Collector to a middlebox configuration. Call it
 // on the config before NewMiddlebox:

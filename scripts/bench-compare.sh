@@ -21,7 +21,7 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-BENCH="${BENCH:-^(BenchmarkMiddleboxSubmitBatch|BenchmarkMiddleboxSubmitBatchOverloaded|BenchmarkMiddleboxSubmitBatchLocal|BenchmarkPolicyTreeSubmitBatch|BenchmarkClusterRebalance|BenchmarkDatapathSingleSocket|BenchmarkDatapathPerCore)\$}"
+BENCH="${BENCH:-^(BenchmarkMiddleboxSubmitBatch|BenchmarkMiddleboxSubmitBatchOverloaded|BenchmarkMiddleboxSubmitBatchLocal|BenchmarkMiddleboxSubmitBatchObserved|BenchmarkMiddleboxSubmitBatchAudited|BenchmarkPolicyTreeSubmitBatch|BenchmarkClusterRebalance|BenchmarkDatapathSingleSocket|BenchmarkDatapathPerCore)\$}"
 COUNT="${COUNT:-6}"
 BUDGET="${BUDGET:-10}"
 
